@@ -1,0 +1,31 @@
+"""Shared helpers for the per-table/figure benchmark harness.
+
+Every benchmark saves its formatted output under ``benchmarks/results/``
+so the regenerated tables/series survive the pytest run (and are the
+artifacts EXPERIMENTS.md quotes).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import warnings
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# COBYLA emits a benign MAXFUN warning when iteration budgets are tiny.
+warnings.filterwarnings("ignore", message=".*MAXFUN.*")
+
+
+@pytest.fixture
+def save_result():
+    """Persist a formatted experiment table and echo it to the console."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+
+    return _save

@@ -1,0 +1,30 @@
+"""Figure 9: ARG versus QAOA layers on F1.
+
+Expected shapes: Choco-Q's ARG falls toward Rasengan's as layers grow but
+pays proportional depth; P-QAOA stays far from the optimum at every depth;
+Rasengan's quality is layer-free at a fixed shallow segment depth.
+"""
+
+from repro.experiments.fig09_layers import format_fig9, run_fig9
+
+
+def test_fig9_layer_sweep(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_fig9(layer_counts=(1, 2, 4, 6, 8, 10, 12, 14),
+                         max_iterations=150),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig09_layers", format_fig9(result))
+
+    deep_chocoq = result.chocoq[-1]
+    shallow_chocoq = result.chocoq[0]
+    # More layers help Choco-Q approach Rasengan...
+    assert deep_chocoq.arg <= shallow_chocoq.arg + 1e-6
+    assert deep_chocoq.arg < result.rasengan_arg + 0.25
+    # ...but at a much larger circuit depth than one Rasengan segment.
+    assert deep_chocoq.depth > 5 * result.rasengan_segment_depth
+
+    # P-QAOA never gets close, at any depth.
+    best_pqaoa = min(point.arg for point in result.pqaoa)
+    assert best_pqaoa > result.rasengan_arg + 0.5

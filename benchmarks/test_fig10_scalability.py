@@ -1,0 +1,59 @@
+"""Figure 10: scalability on growing FLP instances.
+
+Expected shapes: unpruned segment count grows quadratically with the
+variable count while pruning cuts it by an order of magnitude; per-segment
+depth stays bounded; noise-free ARG stays low far beyond the sizes where
+dense baselines give out; the effective-noise run either stays close to
+the ideal ARG or terminates early (the paper's >28-qubit failure mode).
+"""
+
+from repro.experiments.fig10_scalability import format_fig10, run_fig10
+
+
+def test_fig10_scalability(benchmark, save_result):
+    sizes = ((2, 1), (2, 2), (2, 3), (3, 3), (3, 4), (4, 4))
+    points = benchmark.pedantic(
+        lambda: run_fig10(sizes=sizes, max_iterations=120),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig10_scalability", format_fig10(points))
+
+    variables = [p.num_variables for p in points]
+    assert variables == sorted(variables)
+
+    # (a) quadratic unpruned growth, tamed by pruning.
+    assert points[-1].max_segments > 10 * points[0].max_segments
+    for p in points:
+        assert p.pruned_segments < p.max_segments
+
+    # (b) segment depth stays bounded (no m^2 blow-up).
+    assert points[-1].segment_depth_cx < 1000
+
+    # (c) noise-free quality holds at scales beyond dense simulation:
+    # the paper's bar is ARG < 0.5 on large FLP.
+    assert points[-1].noise_free_arg < 0.5
+
+    # (d) every noisy point either produced a result or failed explicitly.
+    for p in points:
+        assert p.noisy_failed or p.noisy_arg is not None
+
+
+def test_fig10_trajectory_noise_spot_check(benchmark, save_result):
+    """Honest per-gate Kraus noise on the sparse engine (no dense
+    statevector), spot-checking the effective-channel model at small and
+    medium sizes.  Expected shape: noisy ARG degrades with scale while
+    noise-free ARG stays near zero."""
+    points = benchmark.pedantic(
+        lambda: run_fig10(
+            sizes=((2, 1), (2, 3)),
+            max_iterations=60,
+            noisy_mode="trajectory",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig10_trajectory_spot_check", format_fig10(points))
+    for p in points:
+        assert p.noisy_failed or p.noisy_arg is not None
+    assert points[0].noise_free_arg < 0.1

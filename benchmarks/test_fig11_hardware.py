@@ -1,0 +1,46 @@
+"""Figure 11: (fake) hardware evaluation — ARG and in-constraints rate.
+
+Expected shapes: Rasengan beats the mean-feasible-solution ARG baseline on
+both devices and holds a 100% in-constraints rate via purification;
+baselines leak most of their probability mass out of the constraints
+(worse on the noisier Kyiv model than on Brisbane).
+"""
+
+import numpy as np
+
+from repro.experiments.fig11_hardware import format_fig11, run_fig11
+
+
+def test_fig11_hardware(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_fig11(
+            benchmark_ids=("F1",),
+            max_iterations=25,
+            shots=512,
+            max_trajectories=16,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig11_hardware", format_fig11(result))
+
+    by_key = {(c.device, c.algorithm): c for c in result.cells}
+
+    for device in ("kyiv", "brisbane"):
+        rasengan = by_key[(device, "rasengan")]
+        # Purification pins the in-constraints rate to 100%.
+        assert rasengan.in_constraints_rate == 1.0
+        # Rasengan beats the mean-feasible baseline; the penalty methods
+        # don't even reach it under noise.
+        assert rasengan.arg < result.mean_feasible_arg
+        for name in ("hea", "pqaoa"):
+            cell = by_key[(device, name)]
+            assert cell.arg > result.mean_feasible_arg
+            assert cell.in_constraints_rate < 0.9
+
+    # The noisier device hurts the deep-circuit baseline more, while
+    # Rasengan's quality is insensitive to the device change.
+    ras_gap = abs(
+        by_key[("kyiv", "rasengan")].arg - by_key[("brisbane", "rasengan")].arg
+    )
+    assert ras_gap < 0.5

@@ -1,0 +1,33 @@
+"""Figure 12: training-latency breakdown per algorithm.
+
+Expected shapes: penalty methods are classical-dominated (>70% of their
+time scores penalty objectives on infeasible samples); Choco-Q is
+quantum-dominated; Rasengan's total beats Choco-Q's despite a slightly
+larger classical share from segment handling.
+"""
+
+from repro.experiments.fig12_latency import format_fig12, run_fig12
+
+
+def test_fig12_latency_breakdown(benchmark, save_result):
+    cells = benchmark.pedantic(
+        lambda: run_fig12(benchmark_id="F1", max_iterations=100),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig12_latency", format_fig12(cells))
+
+    by_name = {cell.algorithm: cell for cell in cells}
+
+    # Penalty methods: classical side dominates (paper: >70%).
+    assert by_name["hea"].classical_fraction > 0.7
+    assert by_name["pqaoa"].classical_fraction > 0.7
+
+    # Choco-Q: quantum side dominates.
+    assert by_name["chocoq"].quantum > by_name["chocoq"].classical
+
+    # Rasengan beats Choco-Q end to end and carries a purification line item.
+    assert by_name["rasengan"].total < by_name["chocoq"].total
+    assert by_name["rasengan"].purification > 0
+    # Purification is a negligible fraction of total time (paper: <0.01%).
+    assert by_name["rasengan"].purification / by_name["rasengan"].total < 1e-3

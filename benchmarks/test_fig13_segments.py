@@ -1,0 +1,39 @@
+"""Figure 13: shots and latency versus the number of segments.
+
+Expected shapes: total shots scale linearly with the segment count (1024
+per segment); latency grows sub-linearly because extra segments shrink the
+dominant circuit-execution term; ARG is roughly preserved across
+segmentations (the probability-preserving claim of Section 4.2).
+"""
+
+import numpy as np
+
+from repro.experiments.fig13_segments import format_fig13, run_fig13
+
+
+def test_fig13_segment_sweep(benchmark, save_result):
+    points = benchmark.pedantic(
+        lambda: run_fig13(benchmark_id="S1", max_iterations=100),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig13_segments", format_fig13(points))
+
+    assert len(points) >= 3
+    segments = np.array([p.num_segments for p in points], dtype=float)
+    shots = np.array([p.total_shots for p in points], dtype=float)
+    latency = np.array([p.latency_seconds for p in points], dtype=float)
+
+    # (a) shots exactly linear in segments.
+    np.testing.assert_allclose(shots, 1024 * segments)
+
+    # (b) latency sub-linear: the last/first latency ratio is well below
+    # the segment-count ratio.
+    segment_ratio = segments[-1] / segments[0]
+    latency_ratio = latency[-1] / latency[0]
+    assert latency_ratio < segment_ratio
+
+    # Probability preservation: quality does not degrade monotonically
+    # with more segments (stays within a band).
+    args = [p.arg for p in points]
+    assert max(args) - min(args) < 1.0

@@ -1,0 +1,33 @@
+"""Figure 15: ablation of the optimizations on circuit depth.
+
+Expected shapes (paper: 9.8% / 67% / 82% cumulative mean reductions):
+simplification is a modest win and a no-op on already-sparse systems
+(F1/K1); pruning removes over half the chain; segmentation delivers the
+largest reduction.
+"""
+
+from repro.experiments.fig15_ablation_depth import (
+    format_fig15,
+    mean_reductions,
+    run_fig15,
+)
+
+
+def test_fig15_depth_ablation(benchmark, save_result):
+    rows = benchmark.pedantic(run_fig15, rounds=1, iterations=1)
+    save_result("fig15_ablation_depth", format_fig15(rows))
+
+    means = mean_reductions(rows)
+    # Cumulative ordering and paper-shaped magnitudes.
+    assert 0.0 <= means["with_simplify"] < 0.4
+    assert means["with_prune"] > 0.5
+    assert means["with_segment"] > means["with_prune"]
+    assert means["with_segment"] > 0.75
+
+    by_id = {row.benchmark_id: row for row in rows}
+    # Opt 1 is ineffective where constraints are already sparsest.
+    for benchmark_id in ("F1", "K1"):
+        assert by_id[benchmark_id].with_simplify == by_id[benchmark_id].baseline
+    # Every stage is monotone non-increasing per benchmark.
+    for row in rows:
+        assert row.baseline >= row.with_simplify >= row.with_prune >= row.with_segment

@@ -1,0 +1,46 @@
+"""Figure 16: ablation of the optimizations on ARG and in-constraints rate.
+
+Expected shapes: noise-free, every configuration solves the small case and
+is 100% in-constraints by construction; under noise, the unpurified
+configurations lose most of their mass to infeasible states (low rate, or
+outright failure for the deep unsegmented chain), while +opt3 restores a
+100% in-constraints output — the paper's dramatic hardware win.
+"""
+
+from repro.experiments.fig16_ablation_quality import format_fig16, run_fig16
+
+
+def test_fig16_quality_ablation(benchmark, save_result):
+    cells = benchmark.pedantic(
+        lambda: run_fig16(
+            benchmark_id="F1",
+            max_iterations_exact=120,
+            max_iterations_noisy=15,
+            shots=512,
+            max_trajectories=12,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig16_ablation_quality", format_fig16(cells))
+
+    by_key = {(c.configuration, c.environment): c for c in cells}
+
+    # Noise-free: the algorithm never leaves the feasible space.
+    for config in ("base", "+opt1", "+opt2", "+opt3"):
+        cell = by_key[(config, "noise-free")]
+        assert not cell.failed
+        assert cell.in_constraints_rate > 0.99
+        assert cell.arg < 1.0
+
+    # Noisy: the fully-optimized configuration survives with a perfect
+    # in-constraints rate.
+    full = by_key[("+opt3", "fake-kyiv")]
+    assert not full.failed
+    assert full.in_constraints_rate == 1.0
+
+    # Noisy: unpurified configurations leak mass out of the constraints
+    # (or fail outright on the deep unsegmented chain).
+    for config in ("base", "+opt1", "+opt2"):
+        cell = by_key[(config, "fake-kyiv")]
+        assert cell.failed or cell.in_constraints_rate < full.in_constraints_rate

@@ -1,0 +1,33 @@
+"""Figure 17: solution-space expansion speed under Hamiltonian pruning.
+
+Expected shapes: on every domain/scale the pruned chain reaches full
+feasible-space coverage within a smaller chain fraction than the unpruned
+chain (paper's fourth scale: 73.6% -> 40.7%, a 1.8x speedup), and the
+speedup grows with scale within each domain.
+"""
+
+import numpy as np
+
+from repro.experiments.fig17_pruning import format_fig17, run_fig17
+
+
+def test_fig17_pruning_expansion(benchmark, save_result):
+    curves = benchmark.pedantic(
+        lambda: run_fig17(domains=("flp", "kpp", "scp", "gcp")),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig17_pruning", format_fig17(curves))
+
+    assert len(curves) == 16
+    for curve in curves:
+        # Pruned coverage never loses states and never needs more chain.
+        assert curve.pruned_coverage[-1] == curve.total_feasible
+        assert curve.pruned_fraction <= curve.unpruned_fraction + 1e-9
+        assert curve.speedup >= 1.0
+        # Coverage curves are monotone.
+        assert list(curve.unpruned_coverage) == sorted(curve.unpruned_coverage)
+
+    # The largest scales enjoy meaningful speedups (paper: ~1.8x).
+    fourth_scales = [c for c in curves if c.benchmark_id.endswith("4")]
+    assert np.mean([c.speedup for c in fourth_scales]) > 1.3

@@ -1,0 +1,40 @@
+"""Headline factors (abstract claims): ARG/depth improvement multiples.
+
+Paper abstract: 4.12x over Choco-Q, 1.96x depth reduction, ~1900x over
+penalty methods (Table 2 text), 379x on hardware.  This bench recomputes
+the same aggregates from a reduced run and checks the direction and
+order of magnitude.
+"""
+
+from repro.experiments.fig11_hardware import run_fig11
+from repro.experiments.summary import headline_from_results
+from repro.experiments.table2 import run_table2
+
+
+def test_headline_factors(benchmark, save_result):
+    def run():
+        table2 = run_table2(
+            benchmark_ids=("F1", "F2", "K1", "K2", "J1", "J2", "S1", "G1"),
+            cases=1,
+            max_iterations=150,
+        )
+        fig11 = run_fig11(
+            benchmark_ids=("F1",),
+            max_iterations=25,
+            shots=512,
+            max_trajectories=16,
+        )
+        return headline_from_results(table2, fig11)
+
+    headline = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("summary_headline", headline.format())
+
+    # Abstract shapes: Rasengan beats Choco-Q on ARG, beats the penalty
+    # methods by orders of magnitude, runs far shallower circuits, and
+    # improves on every baseline under hardware noise by a large factor.
+    assert headline.arg_vs_chocoq > 1.0
+    assert headline.arg_vs_pqaoa > 50.0
+    assert headline.arg_vs_hea > 50.0
+    assert headline.depth_vs_chocoq > 2.0
+    assert headline.hardware_improvement is not None
+    assert headline.hardware_improvement > 10.0

@@ -1,0 +1,24 @@
+"""Table 1: design-space summary (ARG + latency) on a ~12-qubit SCP.
+
+Expected shape: ARG ordering Rasengan < Choco-Q << P-QAOA < HEA, and
+per-iteration latency ordering Rasengan < Choco-Q < penalty methods
+(whose classical side dominates).
+"""
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_table1_summary(benchmark, save_result):
+    rows = benchmark.pedantic(
+        lambda: run_table1(max_iterations=120),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table1_summary", format_table1(rows))
+
+    by_name = {row.algorithm: row for row in rows}
+    assert by_name["rasengan"].arg < by_name["chocoq"].arg
+    assert by_name["chocoq"].arg < by_name["pqaoa"].arg
+    assert by_name["chocoq"].arg < by_name["hea"].arg
+    assert by_name["rasengan"].latency_seconds < by_name["chocoq"].latency_seconds
+    assert by_name["rasengan"].latency_seconds < by_name["hea"].latency_seconds

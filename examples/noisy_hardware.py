@@ -1,0 +1,53 @@
+"""Run Rasengan on a simulated noisy device and watch purification work.
+
+Executes the facility-location benchmark F1 on a trajectory backend
+calibrated to IBM-Kyiv's error rates (paper, Section 5.4), first with
+purification disabled and then enabled, printing the in-constraints rate
+and ARG of both — the mechanism behind Figure 11b and Figure 16.
+
+Run with:  python examples/noisy_hardware.py
+"""
+
+from __future__ import annotations
+
+from repro.core.solver import RasenganConfig, RasenganSolver
+from repro.problems import make_benchmark
+from repro.simulators.backends import fake_kyiv
+
+
+def run_once(enable_purify: bool, seed: int = 7):
+    problem = make_benchmark("F1", 0)
+    backend = fake_kyiv(seed=seed, max_trajectories=24)
+    config = RasenganConfig(
+        shots=1024,
+        max_iterations=25,
+        enable_purify=enable_purify,
+        seed=seed,
+    )
+    solver = RasenganSolver(problem, backend=backend, config=config)
+    return solver.solve()
+
+
+def main() -> None:
+    print("device: fake IBM-Kyiv (2q error 1.2%, 1q error 0.035%, "
+          "1% readout error)\n")
+
+    without = run_once(enable_purify=False)
+    print("without purification:")
+    print(f"  ARG               = {without.arg:.3f}")
+    print(f"  in-constraints    = {without.in_constraints_rate:.1%}")
+
+    with_purify = run_once(enable_purify=True)
+    print("\nwith purification (Section 4.3):")
+    print(f"  ARG               = {with_purify.arg:.3f}")
+    print(f"  in-constraints    = {with_purify.in_constraints_rate:.1%}")
+
+    print(
+        "\nPurification filters every measured state against C x = b "
+        "between segments,\nso the final output is feasible by "
+        "construction — the 100% in-constraints\nrate of Figure 11b."
+    )
+
+
+if __name__ == "__main__":
+    main()

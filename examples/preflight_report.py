@@ -1,0 +1,30 @@
+"""Inspect a Rasengan solver before paying for a training run.
+
+Prints the pre-flight diagnostics report for a benchmark: the move set
+(with per-vector CX costs and schedule usage), the pruning statistics and
+coverage trajectory, the segment plan against the CX budget, and the text
+drawing of the first transition operator circuit.
+
+Run with:  python examples/preflight_report.py [benchmark-id]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.diagnostics import report
+from repro.core.solver import RasenganConfig, RasenganSolver
+from repro.problems import make_benchmark
+
+
+def main(benchmark_id: str = "F2") -> None:
+    problem = make_benchmark(benchmark_id, case=0)
+    solver = RasenganSolver(
+        problem,
+        config=RasenganConfig(shots=None, max_iterations=1, max_segment_cx=140),
+    )
+    print(report(solver))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "F2")

@@ -1,0 +1,52 @@
+"""Scalability study: Rasengan beyond dense-simulation sizes.
+
+Builds facility-location instances from 6 to ~40 variables and reports,
+for each, the quadratic unpruned chain, the pruned chain, the per-segment
+depth, and the achieved ARG — the narrative of the paper's Figure 10 and
+the practical payoff of the sparse feasible-subspace engine (a dense
+statevector at 40 qubits would need ~2^40 amplitudes; the sparse engine
+tracks only the few hundred feasible ones).
+
+Run with:  python examples/scalability_study.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.prune import build_schedule
+from repro.core.solver import RasenganConfig, RasenganSolver
+from repro.problems import FacilityLocationProblem
+
+
+def main() -> None:
+    sizes = [(2, 1), (2, 2), (2, 3), (3, 3), (3, 4), (4, 4)]
+    print(
+        f"{'facilities x demands':<21} {'#vars':>6} {'#feasible':>10} "
+        f"{'m^2 chain':>10} {'pruned':>7} {'seg CX':>7} {'ARG':>7} {'time':>7}"
+    )
+    for facilities, demands in sizes:
+        problem = FacilityLocationProblem.random(
+            facilities, demands, seed=1, name=f"flp-{facilities}x{demands}"
+        )
+        started = time.perf_counter()
+        config = RasenganConfig(shots=None, max_iterations=120, seed=0)
+        solver = RasenganSolver(problem, config=config)
+        result = solver.solve()
+        elapsed = time.perf_counter() - started
+        print(
+            f"{facilities} x {demands:<17} {problem.num_variables:>6} "
+            f"{problem.num_feasible_solutions:>10} "
+            f"{len(build_schedule(solver.basis.shape[0])):>10} "
+            f"{len(solver.schedule):>7} {solver.segment_two_qubit_cost():>7} "
+            f"{result.arg:>7.3f} {elapsed:>6.1f}s"
+        )
+    print(
+        "\nEvery point keeps the state inside the feasible subspace, so "
+        "cost scales with the\nnumber of feasible solutions — not with "
+        "2^n.  Compare Figure 10 of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

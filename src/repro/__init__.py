@@ -1,0 +1,30 @@
+"""repro — a from-scratch reproduction of Rasengan (MICRO 2025).
+
+Transition-Hamiltonian approximation algorithm for constrained binary
+optimization, with every substrate built in pure Python: circuit IR and
+simulators, the five benchmark problem families, the HEA / P-QAOA /
+Choco-Q baselines, and one experiment module per paper table/figure.
+
+The three imports most users need:
+
+>>> from repro.problems import make_benchmark
+>>> from repro.core.solver import RasenganSolver, RasenganConfig
+>>> result = RasenganSolver(make_benchmark("F1", 0),
+...                         config=RasenganConfig(shots=None)).solve()
+>>> result.in_constraints_rate
+1.0
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.solver import RasenganConfig, RasenganResult, RasenganSolver
+from repro.problems import ConstrainedBinaryProblem, make_benchmark
+
+__all__ = [
+    "__version__",
+    "RasenganConfig",
+    "RasenganResult",
+    "RasenganSolver",
+    "ConstrainedBinaryProblem",
+    "make_benchmark",
+]

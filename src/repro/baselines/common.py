@@ -1,0 +1,162 @@
+"""Shared plumbing for the baseline variational algorithms.
+
+Each baseline implements a fast dense simulation path
+(:meth:`VariationalBaseline.simulate`) used for training, and a gate-level
+circuit (:meth:`VariationalBaseline.build_circuit`) used for depth
+accounting and noisy (backend) execution.  Training minimises the expected
+penalty energy of the output distribution with COBYLA, matching the
+paper's protocol (Section 5.1).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.encoding import DEFAULT_PENALTY, PenaltyEncoding
+from repro.baselines.optimizer import minimize_cobyla
+from repro.circuits.circuit import QuantumCircuit
+from repro.linalg.bitvec import int_to_bits
+from repro.metrics.arg import approximation_ratio_gap
+from repro.problems.base import ConstrainedBinaryProblem
+from repro.simulators.backends import Backend
+from repro.simulators.sampling import counts_from_probabilities
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline training run."""
+
+    algorithm: str
+    problem_name: str
+    best_parameters: np.ndarray
+    expectation_value: float
+    arg: float
+    in_constraints_rate: float
+    final_distribution: Dict[int, float]
+    iterations: int
+    history: List[float]
+    num_parameters: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.algorithm}/{self.problem_name}: ARG={self.arg:.3f} "
+            f"in-constraints={self.in_constraints_rate:.1%} "
+            f"params={self.num_parameters}"
+        )
+
+
+class VariationalBaseline(abc.ABC):
+    """Base class for HEA / P-QAOA / Choco-Q.
+
+    Args:
+        problem: problem instance.
+        penalty: penalty coefficient for scoring (and for training, where
+            the method is penalty-based).
+        shots: measurement shots for sampling-based scoring; ``None``
+            scores the exact distribution.
+        max_iterations: COBYLA iteration budget.
+        backend: optional gate-level backend; when given, training runs
+            real (possibly noisy) circuits instead of the dense fast path.
+        seed: RNG seed.
+    """
+
+    algorithm: str = "baseline"
+
+    def __init__(
+        self,
+        problem: ConstrainedBinaryProblem,
+        penalty: float = DEFAULT_PENALTY,
+        shots: Optional[int] = 1024,
+        max_iterations: int = 300,
+        backend: Optional[Backend] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.problem = problem
+        self.encoding = PenaltyEncoding(problem, penalty)
+        self.shots = shots
+        self.max_iterations = max_iterations
+        self.backend = backend
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def num_parameters(self) -> int:
+        """Number of variational parameters."""
+
+    @abc.abstractmethod
+    def initial_parameters(self) -> np.ndarray:
+        """Starting point for the optimizer."""
+
+    @abc.abstractmethod
+    def simulate(self, parameters: np.ndarray) -> np.ndarray:
+        """Dense statevector of the ansatz at ``parameters``."""
+
+    @abc.abstractmethod
+    def build_circuit(self, parameters: np.ndarray) -> QuantumCircuit:
+        """Gate-level circuit of the ansatz (for depth/noisy execution)."""
+
+    # ------------------------------------------------------------------
+    def distribution(self, parameters: np.ndarray) -> Dict[int, float]:
+        """Output distribution at ``parameters`` (fast or backend path)."""
+        if self.backend is not None:
+            circuit = self.build_circuit(parameters)
+            counts = self.backend.run(circuit, self.shots or 1024)
+            total = sum(counts.values())
+            return {key: count / total for key, count in counts.items()}
+        probabilities = np.abs(self.simulate(parameters)) ** 2
+        if self.shots is None:
+            return {
+                int(key): float(p)
+                for key, p in enumerate(probabilities)
+                if p > 1e-12
+            }
+        counts = counts_from_probabilities(probabilities, self.shots, self._rng)
+        return {key: count / self.shots for key, count in counts.items()}
+
+    def penalty_expectation(self, distribution: Dict[int, float]) -> float:
+        """Expected penalty energy — the training loss and the ARG input."""
+        n = self.problem.num_variables
+        return sum(
+            probability
+            * self.problem.penalty_value(int_to_bits(key, n), self.encoding.penalty)
+            for key, probability in distribution.items()
+        )
+
+    # ------------------------------------------------------------------
+    def solve(self) -> BaselineResult:
+        """Train with COBYLA and score the final distribution."""
+        history: List[float] = []
+
+        def loss(parameters: np.ndarray) -> float:
+            value = self.penalty_expectation(self.distribution(parameters))
+            history.append(value)
+            return value
+
+        best = minimize_cobyla(
+            loss, self.initial_parameters(), max_iterations=self.max_iterations
+        )
+        final = self.distribution(best)
+        expectation = self.penalty_expectation(final)
+        n = self.problem.num_variables
+        rate = sum(
+            probability
+            for key, probability in final.items()
+            if self.problem.is_feasible(int_to_bits(key, n))
+        )
+        return BaselineResult(
+            algorithm=self.algorithm,
+            problem_name=self.problem.name,
+            best_parameters=np.asarray(best, dtype=float),
+            expectation_value=expectation,
+            arg=approximation_ratio_gap(self.problem.optimal_value, expectation),
+            in_constraints_rate=rate,
+            final_distribution=final,
+            iterations=len(history),
+            history=history,
+            num_parameters=self.num_parameters,
+        )

@@ -1,0 +1,140 @@
+"""Grover adaptive search (GAS) for constrained binary optimization.
+
+The related-work baseline of Gilliam et al. [18] (paper, Section 6):
+repeatedly run Grover search with an oracle marking all states whose
+penalty energy is *below the best value found so far*, using the
+exponential schedule of Boyer et al. for the unknown number of marked
+states.  The paper's criticism — the threshold/selection oracle is
+expensive on hardware and the search wades through many invalid states —
+is visible here as the oracle-call count and the infeasible-sample rate.
+
+Simulation applies the Grover iterate ``G = D * O`` directly on a dense
+statevector (the oracle is a diagonal sign flip off the cached energies;
+the diffuser is the reflection about the uniform state), which is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.encoding import DEFAULT_PENALTY, PenaltyEncoding
+from repro.linalg.bitvec import int_to_bits
+from repro.metrics.arg import approximation_ratio_gap
+from repro.problems.base import ConstrainedBinaryProblem
+
+
+@dataclass
+class GroverResult:
+    """Outcome of one GAS run."""
+
+    problem_name: str
+    best_value: float
+    best_solution: np.ndarray
+    arg: float
+    oracle_calls: int
+    measurements: int
+    infeasible_measurements: int
+    history: List[float]
+
+    @property
+    def in_constraints_rate(self) -> float:
+        if self.measurements == 0:
+            return 0.0
+        return 1.0 - self.infeasible_measurements / self.measurements
+
+
+class GroverAdaptiveSearch:
+    """Threshold-descending Grover search over the penalty energy.
+
+    Args:
+        problem: problem instance.
+        penalty: penalty coefficient for the threshold oracle.
+        max_rounds: number of threshold-improvement rounds.
+        max_rotations_growth: Boyer et al. growth factor for the rotation
+            count ceiling (8/7 in the original; larger is greedier).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        problem: ConstrainedBinaryProblem,
+        penalty: float = DEFAULT_PENALTY,
+        max_rounds: int = 20,
+        max_rotations_growth: float = 8.0 / 7.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.problem = problem
+        self.encoding = PenaltyEncoding(problem, penalty)
+        self.max_rounds = max_rounds
+        self.growth = max_rotations_growth
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _grover_iterate(self, state: np.ndarray, marked: np.ndarray) -> np.ndarray:
+        """One ``D * O`` application (oracle then diffusion)."""
+        state = state.copy()
+        state[marked] *= -1.0
+        dim = state.shape[0]
+        mean = state.sum() / dim
+        return 2.0 * mean - state
+
+    def solve(self) -> GroverResult:
+        """Run adaptive threshold descent and return the best sample."""
+        energies = self.encoding.energies
+        n = self.problem.num_variables
+        dim = 1 << n
+        uniform = np.full(dim, 1.0 / np.sqrt(dim))
+
+        # Start from the cheap feasible construction, like a practitioner
+        # would: GAS only needs *some* initial threshold.
+        best_bits = self.problem.initial_feasible_solution()
+        best_value = self.problem.penalty_value(best_bits, self.encoding.penalty)
+
+        oracle_calls = 0
+        measurements = 0
+        infeasible = 0
+        history: List[float] = [best_value]
+
+        for _ in range(self.max_rounds):
+            marked = np.flatnonzero(energies < best_value - 1e-12)
+            if marked.size == 0:
+                break  # threshold is already the global minimum
+            ceiling = 1.0
+            improved = False
+            # Boyer et al. exponential schedule for unknown marked count.
+            for _attempt in range(30):
+                rotations = int(self._rng.integers(0, max(int(ceiling), 1))) + 1
+                state = uniform
+                for _ in range(rotations):
+                    state = self._grover_iterate(state, marked)
+                oracle_calls += rotations
+                probabilities = np.abs(state) ** 2
+                sample = int(self._rng.choice(dim, p=probabilities / probabilities.sum()))
+                measurements += 1
+                bits = int_to_bits(sample, n)
+                if not self.problem.is_feasible(bits):
+                    infeasible += 1
+                value = self.problem.penalty_value(bits, self.encoding.penalty)
+                if value < best_value - 1e-12:
+                    best_value = value
+                    best_bits = bits
+                    improved = True
+                    break
+                ceiling = min(ceiling * self.growth, np.sqrt(dim))
+            history.append(best_value)
+            if not improved:
+                break
+
+        return GroverResult(
+            problem_name=self.problem.name,
+            best_value=best_value,
+            best_solution=best_bits,
+            arg=approximation_ratio_gap(self.problem.optimal_value, best_value),
+            oracle_calls=oracle_calls,
+            measurements=measurements,
+            infeasible_measurements=infeasible,
+            history=history,
+        )

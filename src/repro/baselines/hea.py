@@ -1,0 +1,94 @@
+"""Hardware-efficient ansatz (HEA), Kandala et al. (Nature'17).
+
+Repeated layers of native single-qubit rotations (RY, RZ on every qubit)
+with a linear chain of CX entanglers, trained against the penalty energy
+(the paper adds a penalty method to HEA so its output can respect the
+constraints "as much as possible", Section 5.1).
+
+Parameter count is ``2 n (L + 1)`` — an initial rotation layer plus one
+per entangling block — which is why Table 2 shows HEA using an order of
+magnitude more parameters than the Hamiltonian-based methods.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.common import VariationalBaseline
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import single_qubit_matrix
+from repro.problems.base import ConstrainedBinaryProblem
+from repro.simulators.statevector import apply_controlled, apply_single_qubit
+
+
+class HardwareEfficientAnsatz(VariationalBaseline):
+    """HEA with RY/RZ rotation layers and CX-chain entanglers.
+
+    Args:
+        problem: problem instance.
+        layers: number of entangling blocks (paper default: 5).
+        **kwargs: see :class:`~repro.baselines.common.VariationalBaseline`.
+    """
+
+    algorithm = "hea"
+
+    def __init__(
+        self,
+        problem: ConstrainedBinaryProblem,
+        layers: int = 5,
+        **kwargs,
+    ) -> None:
+        super().__init__(problem, **kwargs)
+        self.layers = layers
+
+    @property
+    def num_parameters(self) -> int:
+        n = self.problem.num_variables
+        return 2 * n * (self.layers + 1)
+
+    def initial_parameters(self) -> np.ndarray:
+        return self._rng.uniform(-0.1, 0.1, size=self.num_parameters)
+
+    # ------------------------------------------------------------------
+    def _rotation_layer(
+        self, state: np.ndarray, angles: np.ndarray, n: int
+    ) -> np.ndarray:
+        for qubit in range(n):
+            ry = single_qubit_matrix("ry", (float(angles[2 * qubit]),))
+            rz = single_qubit_matrix("rz", (float(angles[2 * qubit + 1]),))
+            apply_single_qubit(state, ry, qubit, n)
+            apply_single_qubit(state, rz, qubit, n)
+        return state
+
+    def simulate(self, parameters: np.ndarray) -> np.ndarray:
+        n = self.problem.num_variables
+        state = np.zeros(1 << n, dtype=np.complex128)
+        state[0] = 1.0
+        params = np.asarray(parameters, dtype=float).reshape(self.layers + 1, 2 * n)
+        cx = single_qubit_matrix("x")
+        state = self._rotation_layer(state, params[0], n)
+        for layer in range(self.layers):
+            for qubit in range(n - 1):
+                apply_controlled(state, cx, (qubit,), (1,), qubit + 1, n)
+            state = self._rotation_layer(state, params[layer + 1], n)
+        return state
+
+    def build_circuit(self, parameters: np.ndarray) -> QuantumCircuit:
+        n = self.problem.num_variables
+        params = np.asarray(parameters, dtype=float).reshape(self.layers + 1, 2 * n)
+        circuit = QuantumCircuit(n, name="hea")
+
+        def rotations(angles: np.ndarray) -> None:
+            for qubit in range(n):
+                circuit.ry(float(angles[2 * qubit]), qubit)
+                circuit.rz(float(angles[2 * qubit + 1]), qubit)
+
+        rotations(params[0])
+        for layer in range(self.layers):
+            for qubit in range(n - 1):
+                circuit.cx(qubit, qubit + 1)
+            rotations(params[layer + 1])
+        circuit.measure_all()
+        return circuit

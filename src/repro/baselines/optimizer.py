@@ -1,0 +1,71 @@
+"""Classical optimizer drivers.
+
+All algorithms in the paper (Rasengan and baselines) use constrained
+optimization by linear approximation — COBYLA [33] — for parameter
+updating.  A small SPSA implementation is provided as well because it is
+the customary alternative for shot-noise-dominated landscapes; tests use
+it to cross-check optimizer-agnostic behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+from scipy import optimize as sciopt
+
+
+def minimize_cobyla(
+    loss: Callable[[np.ndarray], float],
+    x0: np.ndarray,
+    max_iterations: int = 300,
+    rhobeg: float = 0.5,
+) -> np.ndarray:
+    """COBYLA minimisation; returns the best parameter vector found."""
+    x0 = np.asarray(x0, dtype=float)
+    if x0.size == 0:
+        return x0
+    outcome = sciopt.minimize(
+        loss,
+        x0,
+        method="COBYLA",
+        options={"maxiter": max_iterations, "rhobeg": rhobeg},
+    )
+    return np.asarray(outcome.x, dtype=float)
+
+
+def minimize_spsa(
+    loss: Callable[[np.ndarray], float],
+    x0: np.ndarray,
+    max_iterations: int = 300,
+    a: float = 0.2,
+    c: float = 0.15,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Simultaneous-perturbation stochastic approximation.
+
+    Two loss evaluations per iteration regardless of dimension; standard
+    gain schedules ``a_k = a / (k+1)^0.602`` and ``c_k = c / (k+1)^0.101``.
+    """
+    rng = np.random.default_rng(seed)
+    x = np.asarray(x0, dtype=float).copy()
+    if x.size == 0:
+        return x
+    best_x = x.copy()
+    best_value = loss(x)
+    for k in range(max_iterations):
+        ak = a / (k + 1) ** 0.602
+        ck = c / (k + 1) ** 0.101
+        delta = rng.choice((-1.0, 1.0), size=x.shape)
+        plus = loss(x + ck * delta)
+        minus = loss(x - ck * delta)
+        gradient = (plus - minus) / (2.0 * ck) * delta
+        x = x - ak * gradient
+        value = min(plus, minus)
+        if value < best_value:
+            best_value = value
+            best_x = x.copy()
+    final = loss(x)
+    if final < best_value:
+        best_x = x
+    return best_x

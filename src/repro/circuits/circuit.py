@@ -1,0 +1,245 @@
+"""The :class:`QuantumCircuit` container and its builder API.
+
+A circuit is an ordered list of :class:`~repro.circuits.gates.Instruction`
+over ``num_qubits`` qubits.  The builder methods mirror the subset of the
+Qiskit API the Rasengan artifact uses, so the algorithm code reads the same
+as the original.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.circuits.gates import Instruction
+from repro.exceptions import CircuitError
+
+
+class QuantumCircuit:
+    """A gate-model circuit on ``num_qubits`` qubits.
+
+    Example:
+        >>> qc = QuantumCircuit(3)
+        >>> qc.h(0)
+        >>> qc.cx(0, 1)
+        >>> qc.mcrx(0.5, controls=[0, 1], target=2, ctrl_state=(1, 0))
+        >>> len(qc)
+        3
+    """
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        if num_qubits < 0:
+            raise CircuitError("num_qubits must be non-negative")
+        self.num_qubits = num_qubits
+        self.name = name
+        self._instructions: List[Instruction] = []
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self._instructions[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(name={self.name!r}, num_qubits={self.num_qubits}, "
+            f"num_instructions={len(self)})"
+        )
+
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        """Immutable view of the instruction list."""
+        return tuple(self._instructions)
+
+    # ------------------------------------------------------------------
+    # Core append
+    # ------------------------------------------------------------------
+    def append(self, instr: Instruction) -> None:
+        """Validate qubit indices and append ``instr``."""
+        for qubit in instr.qubits:
+            if qubit < 0 or qubit >= self.num_qubits:
+                raise CircuitError(
+                    f"qubit {qubit} out of range for {self.num_qubits}-qubit circuit"
+                )
+        self._instructions.append(instr)
+
+    def extend(self, instrs: Iterable[Instruction]) -> None:
+        for instr in instrs:
+            self.append(instr)
+
+    def compose(self, other: "QuantumCircuit") -> None:
+        """Append all instructions of ``other`` (same qubit indexing)."""
+        if other.num_qubits > self.num_qubits:
+            raise CircuitError(
+                f"cannot compose {other.num_qubits}-qubit circuit onto "
+                f"{self.num_qubits}-qubit circuit"
+            )
+        self.extend(other.instructions)
+
+    def copy(self) -> "QuantumCircuit":
+        clone = QuantumCircuit(self.num_qubits, name=self.name)
+        clone._instructions = list(self._instructions)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Single-qubit gates
+    # ------------------------------------------------------------------
+    def x(self, qubit: int) -> None:
+        self.append(Instruction("x", (qubit,)))
+
+    def y(self, qubit: int) -> None:
+        self.append(Instruction("y", (qubit,)))
+
+    def z(self, qubit: int) -> None:
+        self.append(Instruction("z", (qubit,)))
+
+    def h(self, qubit: int) -> None:
+        self.append(Instruction("h", (qubit,)))
+
+    def s(self, qubit: int) -> None:
+        self.append(Instruction("s", (qubit,)))
+
+    def sdg(self, qubit: int) -> None:
+        self.append(Instruction("sdg", (qubit,)))
+
+    def t(self, qubit: int) -> None:
+        self.append(Instruction("t", (qubit,)))
+
+    def tdg(self, qubit: int) -> None:
+        self.append(Instruction("tdg", (qubit,)))
+
+    def sx(self, qubit: int) -> None:
+        self.append(Instruction("sx", (qubit,)))
+
+    def rx(self, theta: float, qubit: int) -> None:
+        self.append(Instruction("rx", (qubit,), (float(theta),)))
+
+    def ry(self, theta: float, qubit: int) -> None:
+        self.append(Instruction("ry", (qubit,), (float(theta),)))
+
+    def rz(self, theta: float, qubit: int) -> None:
+        self.append(Instruction("rz", (qubit,), (float(theta),)))
+
+    def p(self, theta: float, qubit: int) -> None:
+        self.append(Instruction("p", (qubit,), (float(theta),)))
+
+    def u(self, theta: float, phi: float, lam: float, qubit: int) -> None:
+        self.append(
+            Instruction("u", (qubit,), (float(theta), float(phi), float(lam)))
+        )
+
+    # ------------------------------------------------------------------
+    # Two-qubit and controlled gates
+    # ------------------------------------------------------------------
+    def cx(self, control: int, target: int) -> None:
+        self.append(Instruction("cx", (control, target)))
+
+    def cz(self, control: int, target: int) -> None:
+        self.append(Instruction("cz", (control, target)))
+
+    def cp(self, theta: float, control: int, target: int) -> None:
+        self.append(Instruction("cp", (control, target), (float(theta),)))
+
+    def crx(self, theta: float, control: int, target: int) -> None:
+        self.append(Instruction("crx", (control, target), (float(theta),)))
+
+    def swap(self, a: int, b: int) -> None:
+        self.append(Instruction("swap", (a, b)))
+
+    def ccx(self, control_a: int, control_b: int, target: int) -> None:
+        self.append(Instruction("ccx", (control_a, control_b, target)))
+
+    # ------------------------------------------------------------------
+    # Multi-controlled gates (the transition operator's workhorses)
+    # ------------------------------------------------------------------
+    def mcx(
+        self,
+        controls: Sequence[int],
+        target: int,
+        ctrl_state: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Multi-controlled X with an optional control pattern."""
+        self.append(
+            Instruction(
+                "mcx",
+                (*controls, target),
+                ctrl_state=None if ctrl_state is None else tuple(ctrl_state),
+            )
+        )
+
+    def mcp(
+        self,
+        theta: float,
+        controls: Sequence[int],
+        target: int,
+        ctrl_state: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Multi-controlled phase gate."""
+        self.append(
+            Instruction(
+                "mcp",
+                (*controls, target),
+                (float(theta),),
+                ctrl_state=None if ctrl_state is None else tuple(ctrl_state),
+            )
+        )
+
+    def mcrx(
+        self,
+        theta: float,
+        controls: Sequence[int],
+        target: int,
+        ctrl_state: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Multi-controlled X rotation; the core of a transition operator."""
+        self.append(
+            Instruction(
+                "mcrx",
+                (*controls, target),
+                (float(theta),),
+                ctrl_state=None if ctrl_state is None else tuple(ctrl_state),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Non-unitary operations
+    # ------------------------------------------------------------------
+    def measure(self, qubit: int) -> None:
+        self.append(Instruction("measure", (qubit,)))
+
+    def measure_all(self) -> None:
+        for qubit in range(self.num_qubits):
+            self.measure(qubit)
+
+    def reset(self, qubit: int) -> None:
+        self.append(Instruction("reset", (qubit,)))
+
+    def barrier(self) -> None:
+        self.append(Instruction("barrier", tuple()))
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def prepare_bitstring(self, bits: Sequence[int]) -> None:
+        """Apply X gates to prepare ``|bits⟩`` from ``|0...0⟩``.
+
+        Used for the feasible-solution initialization (paper, Figure 4) and
+        for segment re-initialization (paper, Section 4.2).
+        """
+        if len(bits) != self.num_qubits:
+            raise CircuitError(
+                f"bitstring length {len(bits)} != num_qubits {self.num_qubits}"
+            )
+        for qubit, bit in enumerate(bits):
+            if bit:
+                self.x(qubit)
+
+    def num_parameters_like(self) -> int:
+        """Count parameterised rotations (rx/ry/rz/p/crx/mcrx/cp/mcp/u)."""
+        names = {"rx", "ry", "rz", "p", "u", "crx", "mcrx", "cp", "mcp"}
+        return sum(1 for instr in self._instructions if instr.name in names)

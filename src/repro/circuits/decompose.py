@@ -1,0 +1,233 @@
+"""Decomposition of multi-controlled gates into {1-qubit, CX}.
+
+The transition operator circuit (paper, Figure 4) is built from
+multi-controlled RX / phase gates.  Real devices only offer one- and
+two-qubit natives, so depth claims must be made on a decomposed circuit.
+This module implements exact, ancilla-free decompositions:
+
+* ``cp``  -> 2 CX + 3 phase gates,
+* ``crx`` -> 2 CX + RZ/H conjugation,
+* ``ccx`` -> the standard 6-CX Toffoli network,
+* ``mcp``/``mcrx``/``mcx`` -> the Barenco square-root recursion
+  (exponential in the number of controls, which is fine for the small
+  control counts that survive Hamiltonian simplification; asymptotic depth
+  *claims* use the linear neutral-atom cost model in
+  :mod:`repro.circuits.depth` instead, as the paper does via [20]).
+
+Control patterns (0-controls) are realised by conjugating the affected
+control qubits with X gates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Instruction
+from repro.exceptions import CircuitError
+
+#: Gate names that are already native after decomposition.
+NATIVE_AFTER_DECOMPOSITION = {
+    "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx",
+    "rx", "ry", "rz", "p", "u", "cx", "measure", "reset", "barrier",
+}
+
+
+def _emit_cp(out: List[Instruction], theta: float, control: int, target: int) -> None:
+    """Controlled-phase via 2 CX and 3 single-qubit phases."""
+    out.append(Instruction("p", (control,), (theta / 2,)))
+    out.append(Instruction("cx", (control, target)))
+    out.append(Instruction("p", (target,), (-theta / 2,)))
+    out.append(Instruction("cx", (control, target)))
+    out.append(Instruction("p", (target,), (theta / 2,)))
+
+
+def _emit_crz(out: List[Instruction], theta: float, control: int, target: int) -> None:
+    """Controlled-RZ via 2 CX."""
+    out.append(Instruction("rz", (target,), (theta / 2,)))
+    out.append(Instruction("cx", (control, target)))
+    out.append(Instruction("rz", (target,), (-theta / 2,)))
+    out.append(Instruction("cx", (control, target)))
+
+
+def _emit_crx(out: List[Instruction], theta: float, control: int, target: int) -> None:
+    """Controlled-RX = H · CRZ · H on the target."""
+    out.append(Instruction("h", (target,)))
+    _emit_crz(out, theta, control, target)
+    out.append(Instruction("h", (target,)))
+
+
+def _emit_ccx(out: List[Instruction], a: int, b: int, target: int) -> None:
+    """Standard 6-CX Toffoli decomposition."""
+    out.append(Instruction("h", (target,)))
+    out.append(Instruction("cx", (b, target)))
+    out.append(Instruction("tdg", (target,)))
+    out.append(Instruction("cx", (a, target)))
+    out.append(Instruction("t", (target,)))
+    out.append(Instruction("cx", (b, target)))
+    out.append(Instruction("tdg", (target,)))
+    out.append(Instruction("cx", (a, target)))
+    out.append(Instruction("t", (b,)))
+    out.append(Instruction("t", (target,)))
+    out.append(Instruction("h", (target,)))
+    out.append(Instruction("cx", (a, b)))
+    out.append(Instruction("t", (a,)))
+    out.append(Instruction("tdg", (b,)))
+    out.append(Instruction("cx", (a, b)))
+
+
+def _emit_controlled_phased_rx(
+    out: List[Instruction],
+    control: int,
+    target: int,
+    theta: float,
+    phase: float,
+) -> None:
+    """Singly-controlled ``e^{i*phase} RX(theta)``.
+
+    A controlled global phase is a phase gate on the control qubit.
+    """
+    if phase:
+        out.append(Instruction("p", (control,), (phase,)))
+    _emit_crx(out, theta, control, target)
+
+
+def _emit_mc_phased_rx(
+    out: List[Instruction],
+    controls: Sequence[int],
+    target: int,
+    theta: float,
+    phase: float,
+) -> None:
+    """Multi-controlled ``e^{i*phase} RX(theta)`` (all 1-controls).
+
+    Barenco recursion with ``V = e^{i*phase/2} RX(theta/2)``:
+    ``C^k U = C_k(V) · MCX(rest->k) · C_k(V†) · MCX(rest->k) · C^{k-1}(V)``.
+    """
+    if not controls:
+        if phase:
+            # Uncontrolled global phase is irrelevant; keep the rotation.
+            pass
+        out.append(Instruction("rx", (target,), (theta,)))
+        return
+    if len(controls) == 1:
+        _emit_controlled_phased_rx(out, controls[0], target, theta, phase)
+        return
+    last = controls[-1]
+    rest = controls[:-1]
+    _emit_controlled_phased_rx(out, last, target, theta / 2, phase / 2)
+    _emit_mcx(out, rest, last)
+    _emit_controlled_phased_rx(out, last, target, -theta / 2, -phase / 2)
+    _emit_mcx(out, rest, last)
+    _emit_mc_phased_rx(out, rest, target, theta / 2, phase / 2)
+
+
+def _emit_mcx(out: List[Instruction], controls: Sequence[int], target: int) -> None:
+    """Multi-controlled X (all 1-controls).
+
+    ``X = e^{i*pi/2} RX(pi)``, so the phased-RX recursion applies.
+    """
+    if not controls:
+        out.append(Instruction("x", (target,)))
+        return
+    if len(controls) == 1:
+        out.append(Instruction("cx", (controls[0], target)))
+        return
+    if len(controls) == 2:
+        _emit_ccx(out, controls[0], controls[1], target)
+        return
+    _emit_mc_phased_rx(out, controls, target, math.pi, math.pi / 2)
+
+
+def _emit_mcp(out: List[Instruction], theta: float, qubits: Sequence[int]) -> None:
+    """Phase ``e^{i*theta}`` on the all-ones state of ``qubits``.
+
+    Recursion: split the last control off with a CP(theta/2) pair around
+    MCX, then recurse on one fewer qubit with half the angle.
+    """
+    if len(qubits) == 1:
+        out.append(Instruction("p", (qubits[0],), (theta,)))
+        return
+    if len(qubits) == 2:
+        _emit_cp(out, theta, qubits[0], qubits[1])
+        return
+    *controls, target = qubits
+    last = controls[-1]
+    rest = controls[:-1]
+    _emit_cp(out, theta / 2, last, target)
+    _emit_mcx(out, rest, last)
+    _emit_cp(out, -theta / 2, last, target)
+    _emit_mcx(out, rest, last)
+    _emit_mcp(out, theta / 2, (*rest, target))
+
+
+def _with_pattern(
+    out: List[Instruction],
+    instr: Instruction,
+    emit,
+) -> None:
+    """Wrap ``emit`` with X-conjugation on 0-controls of ``instr``."""
+    zero_controls = [
+        qubit
+        for qubit, wanted in zip(instr.controls, instr.control_pattern)
+        if wanted == 0
+    ]
+    for qubit in zero_controls:
+        out.append(Instruction("x", (qubit,)))
+    emit()
+    for qubit in zero_controls:
+        out.append(Instruction("x", (qubit,)))
+
+
+def decompose_instruction(instr: Instruction) -> List[Instruction]:
+    """Expand one instruction into the {1q, CX} basis."""
+    if instr.name in NATIVE_AFTER_DECOMPOSITION:
+        return [instr]
+    out: List[Instruction] = []
+    controls = list(instr.controls)
+    target = instr.target
+    if instr.name == "swap":
+        a, b = instr.qubits
+        out.append(Instruction("cx", (a, b)))
+        out.append(Instruction("cx", (b, a)))
+        out.append(Instruction("cx", (a, b)))
+        return out
+    if instr.name == "cz":
+        out.append(Instruction("h", (target,)))
+        out.append(Instruction("cx", (controls[0], target)))
+        out.append(Instruction("h", (target,)))
+        return out
+    if instr.name == "cp":
+        _with_pattern(out, instr, lambda: _emit_cp(out, instr.params[0], controls[0], target))
+        return out
+    if instr.name == "crx":
+        _with_pattern(out, instr, lambda: _emit_crx(out, instr.params[0], controls[0], target))
+        return out
+    if instr.name == "ccx":
+        _with_pattern(out, instr, lambda: _emit_ccx(out, controls[0], controls[1], target))
+        return out
+    if instr.name == "mcx":
+        _with_pattern(out, instr, lambda: _emit_mcx(out, controls, target))
+        return out
+    if instr.name == "mcp":
+        _with_pattern(
+            out, instr, lambda: _emit_mcp(out, instr.params[0], (*controls, target))
+        )
+        return out
+    if instr.name == "mcrx":
+        _with_pattern(
+            out,
+            instr,
+            lambda: _emit_mc_phased_rx(out, controls, target, instr.params[0], 0.0),
+        )
+        return out
+    raise CircuitError(f"no decomposition known for gate {instr.name!r}")
+
+
+def decompose_circuit(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite ``circuit`` into the {single-qubit, CX} basis."""
+    result = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_decomposed")
+    for instr in circuit:
+        result.extend(decompose_instruction(instr))
+    return result

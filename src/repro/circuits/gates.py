@@ -1,0 +1,229 @@
+"""Gate definitions and matrix builders.
+
+Gates are recorded as immutable :class:`Instruction` values.  A gate name,
+the qubits it acts on, real parameters, and (for multi-controlled gates) the
+control pattern fully determine its unitary.  The convention for
+multi-controlled gates is ``qubits = (*controls, target)`` with
+``ctrl_state[i]`` giving the required value of ``controls[i]``; the default
+pattern is all ones.
+
+Only the matrix of the *base* (non-control) operation is stored here; the
+simulators apply control logic directly on indices, which is far cheaper
+than materialising a ``2**(k+1)`` matrix.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+
+#: Gate names whose base operation acts on one qubit.
+SINGLE_QUBIT_GATES = {
+    "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx",
+    "rx", "ry", "rz", "p", "u",
+}
+
+#: Multi-controlled gate names; qubits = (*controls, target).
+CONTROLLED_GATES = {"cx", "cz", "cp", "crx", "ccx", "mcx", "mcp", "mcrx"}
+
+#: Non-unitary / structural operations.
+NON_UNITARY = {"measure", "reset", "barrier"}
+
+_SQRT2 = math.sqrt(2.0)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One operation in a circuit.
+
+    Attributes:
+        name: gate name (see module constants for the supported set).
+        qubits: qubit indices; for controlled gates the target is last.
+        params: real gate parameters (angles).
+        ctrl_state: required control values for multi-controlled gates;
+            ``None`` means all controls must be 1.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = ()
+    ctrl_state: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"duplicate qubits in {self.name}: {self.qubits}")
+        if self.ctrl_state is not None and len(self.ctrl_state) != self.num_controls:
+            raise CircuitError(
+                f"{self.name}: ctrl_state length {len(self.ctrl_state)} does not "
+                f"match {self.num_controls} controls"
+            )
+
+    @property
+    def num_controls(self) -> int:
+        """Number of control qubits of this instruction."""
+        if self.name in ("cx", "cz", "cp", "crx"):
+            return 1
+        if self.name == "ccx":
+            return 2
+        if self.name in ("mcx", "mcp", "mcrx"):
+            return len(self.qubits) - 1
+        return 0
+
+    @property
+    def controls(self) -> Tuple[int, ...]:
+        """Control qubits (possibly empty)."""
+        return self.qubits[: self.num_controls]
+
+    @property
+    def target(self) -> int:
+        """Target qubit (the last listed)."""
+        return self.qubits[-1]
+
+    @property
+    def control_pattern(self) -> Tuple[int, ...]:
+        """Required control values, defaulting to all ones."""
+        if self.ctrl_state is not None:
+            return self.ctrl_state
+        return (1,) * self.num_controls
+
+    @property
+    def base_name(self) -> str:
+        """Name of the operation applied on the target when controls match."""
+        mapping = {
+            "cx": "x", "ccx": "x", "mcx": "x",
+            "cz": "z",
+            "cp": "p", "mcp": "p",
+            "crx": "rx", "mcrx": "rx",
+        }
+        return mapping.get(self.name, self.name)
+
+    @property
+    def is_unitary(self) -> bool:
+        return self.name not in NON_UNITARY
+
+
+def single_qubit_matrix(name: str, params: Tuple[float, ...] = ()) -> np.ndarray:
+    """2x2 unitary of a single-qubit gate.
+
+    Args:
+        name: one of :data:`SINGLE_QUBIT_GATES`.
+        params: gate angles; ``rx/ry/rz/p`` take one, ``u`` takes three.
+    """
+    if name == "id":
+        return np.eye(2, dtype=complex)
+    if name == "x":
+        return np.array([[0, 1], [1, 0]], dtype=complex)
+    if name == "y":
+        return np.array([[0, -1j], [1j, 0]], dtype=complex)
+    if name == "z":
+        return np.array([[1, 0], [0, -1]], dtype=complex)
+    if name == "h":
+        return np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT2
+    if name == "s":
+        return np.array([[1, 0], [0, 1j]], dtype=complex)
+    if name == "sdg":
+        return np.array([[1, 0], [0, -1j]], dtype=complex)
+    if name == "t":
+        return np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex)
+    if name == "tdg":
+        return np.array([[1, 0], [0, np.exp(-1j * math.pi / 4)]], dtype=complex)
+    if name == "sx":
+        return 0.5 * np.array(
+            [[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex
+        )
+    if name == "rx":
+        (theta,) = params
+        c, s = math.cos(theta / 2), math.sin(theta / 2)
+        return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+    if name == "ry":
+        (theta,) = params
+        c, s = math.cos(theta / 2), math.sin(theta / 2)
+        return np.array([[c, -s], [s, c]], dtype=complex)
+    if name == "rz":
+        (theta,) = params
+        return np.array(
+            [[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]],
+            dtype=complex,
+        )
+    if name == "p":
+        (theta,) = params
+        return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=complex)
+    if name == "u":
+        theta, phi, lam = params
+        c, s = math.cos(theta / 2), math.sin(theta / 2)
+        return np.array(
+            [
+                [c, -np.exp(1j * lam) * s],
+                [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+            ],
+            dtype=complex,
+        )
+    raise CircuitError(f"unknown single-qubit gate {name!r}")
+
+
+def gate_matrix(instr: Instruction) -> np.ndarray:
+    """Full unitary of ``instr`` on its own qubits.
+
+    The matrix is ordered with ``instr.qubits[0]`` as the *least significant*
+    bit of the index, matching the library-wide little-endian convention.
+    Intended for verification and the density-matrix simulator; statevector
+    simulators use index arithmetic instead.
+    """
+    if not instr.is_unitary:
+        raise CircuitError(f"{instr.name} has no unitary matrix")
+    if instr.name == "swap":
+        return np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
+            dtype=complex,
+        )
+    k = len(instr.qubits)
+    base = single_qubit_matrix(instr.base_name, instr.params)
+    if instr.num_controls == 0:
+        if k != 1:
+            raise CircuitError(f"unsupported multi-qubit gate {instr.name}")
+        return base
+    dim = 1 << k
+    matrix = np.eye(dim, dtype=complex)
+    pattern = instr.control_pattern
+    target_bit = k - 1  # target is the last listed qubit
+    for index in range(dim):
+        controls_match = all(
+            ((index >> c) & 1) == pattern[c] for c in range(instr.num_controls)
+        )
+        if not controls_match:
+            continue
+        if (index >> target_bit) & 1:
+            continue  # handle each pair once, from its target=0 member
+        partner = index | (1 << target_bit)
+        matrix[index, index] = base[0, 0]
+        matrix[index, partner] = base[0, 1]
+        matrix[partner, index] = base[1, 0]
+        matrix[partner, partner] = base[1, 1]
+    return matrix
+
+
+#: Durations are defined in :mod:`repro.circuits.latency`; this map only
+#: classifies names for depth/count accounting.
+def gate_category(instr: Instruction) -> str:
+    """Coarse category used by depth/latency accounting.
+
+    Returns one of ``"1q"``, ``"2q"``, ``"multi"``, ``"measure"``,
+    ``"reset"`` or ``"barrier"``.
+    """
+    if instr.name == "barrier":
+        return "barrier"
+    if instr.name == "measure":
+        return "measure"
+    if instr.name == "reset":
+        return "reset"
+    k = len(instr.qubits)
+    if k == 1:
+        return "1q"
+    if k == 2:
+        return "2q"
+    return "multi"

@@ -1,0 +1,139 @@
+"""Analytic latency model for variational-algorithm training.
+
+The paper reports end-to-end training latency (Table 1, Figures 12 and 13)
+using IBM device timing (the Quebec model).  Offline we reproduce the same
+accounting with an explicit model:
+
+``quantum time  = shots * (circuit duration + readout + reset)``
+``circuit time  = depth_1q * t_1q + depth_2q * t_2q`` (per segment)
+``classical time = objective evaluations + optimizer update (+ purification)``
+
+Only *relative* numbers are meaningful, which is all Figures 12/13 claim.
+Default timings follow published IBM Eagle r3 calibration orders of
+magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DeviceTimings:
+    """Per-operation durations, in seconds."""
+
+    single_qubit_gate: float = 35e-9
+    two_qubit_gate: float = 500e-9
+    readout: float = 1.2e-6
+    reset: float = 1.0e-6
+    #: Fixed per-job overhead (binary upload, triggering), per circuit batch.
+    job_overhead: float = 2e-3
+
+
+#: Default timing set used across the benchmark harness.
+IBM_EAGLE_TIMINGS = DeviceTimings()
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Latency breakdown of one training run, in seconds."""
+
+    quantum: float
+    classical: float
+    purification: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.quantum + self.classical + self.purification
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "quantum": self.quantum,
+            "classical": self.classical,
+            "purification": self.purification,
+            "total": self.total,
+        }
+
+
+@dataclass
+class LatencyModel:
+    """Estimate training latency from circuit structure and iteration counts.
+
+    Attributes:
+        timings: device timing constants.
+        classical_update_per_param: seconds of optimizer work per parameter
+            per iteration (COBYLA linear-model upkeep).
+        objective_eval: seconds to evaluate the classical objective on one
+            measured bitstring (larger for penalty methods, which must
+            evaluate quadratic penalty terms on infeasible outputs too).
+        purification_per_state: seconds per distinct measured state for the
+            feasibility check ``C x = b`` (paper: ~0.05 ms total per
+            iteration, i.e. microseconds per state).
+    """
+
+    timings: DeviceTimings = field(default_factory=lambda: IBM_EAGLE_TIMINGS)
+    classical_update_per_param: float = 2e-4
+    #: Evaluating a quadratic penalty objective on one sample.  Calibrated
+    #: so that penalty methods land in the paper's classical-dominated
+    #: regime (~0.5 s of objective work per 1024-shot iteration).
+    objective_eval: float = 2e-4
+    purification_per_state: float = 1e-6
+
+    def circuit_duration(self, depth_1q: int, depth_2q: int) -> float:
+        """Wall-clock duration of one circuit execution (no readout)."""
+        return (
+            depth_1q * self.timings.single_qubit_gate
+            + depth_2q * self.timings.two_qubit_gate
+        )
+
+    def training_latency(
+        self,
+        *,
+        iterations: int,
+        shots: int,
+        depth_1q: int,
+        depth_2q: int,
+        num_parameters: int,
+        segments: int = 1,
+        distinct_states: int = 16,
+        purify: bool = False,
+        objective_evals_per_shot: float = 1.0,
+    ) -> LatencyReport:
+        """Latency of a full variational training run.
+
+        Args:
+            iterations: optimizer iterations.
+            shots: measurement shots per segment execution.
+            depth_1q: single-qubit-layer depth of one executed circuit
+                (one segment for Rasengan, the full ansatz otherwise).
+            depth_2q: two-qubit-gate depth of one executed circuit.
+            num_parameters: variational parameter count.
+            segments: circuit executions per iteration (Rasengan segments).
+            distinct_states: distinct basis states measured per segment,
+                which drives purification cost.
+            purify: include the purification feasibility checks.
+            objective_evals_per_shot: penalty methods evaluate the objective
+                (with penalty terms) on every measured sample; feasible-space
+                methods only on feasible ones.
+        """
+        per_shot = (
+            self.circuit_duration(depth_1q, depth_2q)
+            + self.timings.readout
+            + self.timings.reset
+        )
+        quantum = iterations * segments * (
+            shots * per_shot + self.timings.job_overhead
+        )
+        classical = iterations * (
+            num_parameters * self.classical_update_per_param
+            + shots * segments * objective_evals_per_shot * self.objective_eval
+        )
+        purification = 0.0
+        if purify:
+            purification = (
+                iterations * segments * distinct_states * self.purification_per_state
+            )
+        return LatencyReport(
+            quantum=quantum, classical=classical, purification=purification
+        )

@@ -1,0 +1,147 @@
+"""Peephole circuit optimization.
+
+Local rewrite passes applied until a fixed point:
+
+* cancel adjacent self-inverse pairs on identical qubits
+  (X·X, H·H, Z·Z, CX·CX, CZ·CZ, SWAP·SWAP);
+* merge adjacent rotations of the same axis on the same qubit
+  (RZ(a)·RZ(b) -> RZ(a+b), same for RX/RY/P, and CP/CRX/MCRX/MCP with
+  identical controls and control patterns);
+* drop rotations whose angle is a multiple of 2*pi (4*pi for the
+  half-angle gates RX/RY/RZ, which equal -I at 2*pi — a global phase,
+  but one that matters inside controlled contexts, so only the exact
+  identity period is dropped).
+
+"Adjacent" means no intervening instruction touches any shared qubit —
+the passes look through gates on disjoint wires.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Instruction
+
+_SELF_INVERSE = {"x", "y", "z", "h", "cx", "cz", "swap", "ccx"}
+#: Rotation-like gates and their identity period.
+_ROTATIONS = {
+    "rx": 4 * math.pi,
+    "ry": 4 * math.pi,
+    "rz": 4 * math.pi,
+    "p": 2 * math.pi,
+    "cp": 2 * math.pi,
+    "crx": 4 * math.pi,
+    "mcp": 2 * math.pi,
+    "mcrx": 4 * math.pi,
+}
+
+_ANGLE_TOLERANCE = 1e-12
+
+
+def _same_operation(a: Instruction, b: Instruction) -> bool:
+    """Same gate on the same qubits with the same control pattern."""
+    return (
+        a.name == b.name
+        and a.qubits == b.qubits
+        and a.control_pattern == b.control_pattern
+    )
+
+
+def _is_identity_rotation(instr: Instruction) -> bool:
+    period = _ROTATIONS.get(instr.name)
+    if period is None or not instr.params:
+        return False
+    angle = instr.params[0] % period
+    return min(angle, period - angle) < _ANGLE_TOLERANCE
+
+
+def _merge(a: Instruction, b: Instruction) -> Optional[Instruction]:
+    """Merged instruction for an adjacent same-axis rotation pair."""
+    if a.name not in _ROTATIONS or not _same_operation(a, b):
+        return None
+    return Instruction(
+        a.name, a.qubits, (a.params[0] + b.params[0],), a.ctrl_state
+    )
+
+
+#: Diagonal (computational-basis) gates — they all commute pairwise.
+_DIAGONAL = {"z", "s", "sdg", "t", "tdg", "rz", "p", "cz", "cp", "mcp"}
+
+
+def _commutes(a: Instruction, b: Instruction) -> bool:
+    """Conservative commutation check used to scan past gates.
+
+    Rules: disjoint wires always commute; diagonal gates commute with
+    each other; two CX with the same control commute; a CX commutes with
+    a diagonal gate touching only its control, and with an X touching
+    only its target.
+    """
+    if not (set(a.qubits) & set(b.qubits)):
+        return True
+    if a.name in _DIAGONAL and b.name in _DIAGONAL:
+        return True
+
+    def cx_rule(cx: Instruction, other: Instruction) -> bool:
+        if cx.name != "cx":
+            return False
+        control, target = cx.qubits
+        other_qubits = set(other.qubits)
+        if other.name == "cx" and other.qubits[0] == control and target not in other_qubits:
+            return True
+        if other.name in _DIAGONAL and other_qubits == {control}:
+            return True
+        if other.name == "x" and other_qubits == {target}:
+            return True
+        return False
+
+    return cx_rule(a, b) or cx_rule(b, a)
+
+
+def _one_pass(instructions: List[Instruction]) -> Optional[List[Instruction]]:
+    """Apply the first applicable rewrite; None when at a fixed point."""
+    count = len(instructions)
+    for i, instr in enumerate(instructions):
+        if not instr.is_unitary:
+            continue
+        if _is_identity_rotation(instr):
+            return instructions[:i] + instructions[i + 1 :]
+        # Scan forward past commuting gates for a cancel/merge partner.
+        for j in range(i + 1, count):
+            other = instructions[j]
+            if _same_operation(instr, other):
+                if instr.name in _SELF_INVERSE:
+                    return (
+                        instructions[:i]
+                        + instructions[i + 1 : j]
+                        + instructions[j + 1 :]
+                    )
+                merged = _merge(instr, other)
+                if merged is not None:
+                    return (
+                        instructions[:i]
+                        + [merged]
+                        + instructions[i + 1 : j]
+                        + instructions[j + 1 :]
+                    )
+            if not other.is_unitary or not _commutes(instr, other):
+                break
+    return None
+
+
+def optimize_circuit(circuit: QuantumCircuit, max_passes: int = 10_000) -> QuantumCircuit:
+    """Run peephole rewrites to a fixed point.
+
+    The result implements the same unitary (up to nothing — all rewrites
+    are exact identities) with at most the original gate count.
+    """
+    instructions = list(circuit.instructions)
+    for _ in range(max_passes):
+        rewritten = _one_pass(instructions)
+        if rewritten is None:
+            break
+        instructions = rewritten
+    result = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_opt")
+    result.extend(instructions)
+    return result

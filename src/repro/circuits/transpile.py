@@ -1,0 +1,240 @@
+"""Transpilation: native-basis translation and topology routing.
+
+Brings a logical circuit to the form a device executes:
+
+1. :func:`decompose_circuit` flattens multi-controlled gates to {1q, CX};
+2. :func:`to_native_basis` rewrites every single-qubit gate into the IBM
+   Eagle native set ``{rz, sx, x, cx}`` using the ZSX Euler decomposition
+   ``U = e^{ia} RZ(phi+pi) SX RZ(theta+pi) SX RZ(lambda)``;
+3. :func:`route_circuit` inserts SWAPs (3 CX each) so that every CX acts
+   on adjacent qubits of a coupling map, with a greedy
+   move-along-shortest-path strategy.
+
+This is the machinery behind honest depth numbers: the paper compiles via
+the IBM Quebec model; we compile to the same gate alphabet on
+caller-supplied topologies (:func:`linear_coupling` and
+:func:`grid_coupling` ship as common cases).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.decompose import decompose_circuit
+from repro.circuits.gates import Instruction, single_qubit_matrix
+from repro.exceptions import CircuitError
+
+#: IBM Eagle native gate alphabet.
+NATIVE_BASIS = ("rz", "sx", "x", "cx")
+
+_ATOL = 1e-10
+
+
+def zyz_angles(matrix: np.ndarray) -> Tuple[float, float, float]:
+    """ZYZ Euler angles ``(theta, phi, lam)`` of a 2x2 unitary.
+
+    ``U ~ RZ(phi) RY(theta) RZ(lam)`` up to global phase.
+    """
+    det = np.linalg.det(matrix)
+    su2 = matrix / cmath.sqrt(det)
+    theta = 2.0 * math.atan2(abs(su2[1, 0]), abs(su2[0, 0]))
+    if abs(su2[0, 0]) < _ATOL:
+        # theta == pi: only phi - lam is determined; set lam = 0.
+        phi = 2.0 * cmath.phase(su2[1, 0])
+        lam = 0.0
+    elif abs(su2[1, 0]) < _ATOL:
+        # theta == 0: only phi + lam is determined; set lam = 0.
+        phi = 2.0 * cmath.phase(su2[1, 1])
+        lam = 0.0
+    else:
+        plus = 2.0 * cmath.phase(su2[1, 1])
+        minus = 2.0 * cmath.phase(su2[1, 0])
+        phi = (plus + minus) / 2.0
+        lam = (plus - minus) / 2.0
+    return theta, phi, lam
+
+
+def _emit_native_1q(out: List[Instruction], matrix: np.ndarray, qubit: int) -> None:
+    """Append the ZSX realisation of a single-qubit unitary (global phase
+    dropped).  Identity-like gates emit nothing; pure Z-rotations emit one
+    RZ."""
+    if np.allclose(matrix, np.eye(2) * matrix[0, 0], atol=_ATOL):
+        return
+    theta, phi, lam = zyz_angles(matrix)
+    if abs(theta) < 1e-9:
+        out.append(Instruction("rz", (qubit,), (phi + lam,)))
+        return
+    out.append(Instruction("rz", (qubit,), (lam,)))
+    out.append(Instruction("sx", (qubit,)))
+    out.append(Instruction("rz", (qubit,), (theta + math.pi,)))
+    out.append(Instruction("sx", (qubit,)))
+    out.append(Instruction("rz", (qubit,), (phi + math.pi,)))
+
+
+def to_native_basis(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite into the IBM Eagle alphabet {rz, sx, x, cx}.
+
+    Multi-controlled gates are flattened first; adjacent single-qubit
+    gates on the same wire are fused before translation so each run costs
+    at most one ZSX pattern (5 native gates).
+    """
+    flat = decompose_circuit(circuit)
+    result = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_native")
+    pending: Dict[int, np.ndarray] = {}
+
+    def flush(qubit: int) -> None:
+        matrix = pending.pop(qubit, None)
+        if matrix is not None:
+            emitted: List[Instruction] = []
+            _emit_native_1q(emitted, matrix, qubit)
+            result.extend(emitted)
+
+    for instr in flat:
+        if instr.name in ("measure", "reset", "barrier"):
+            for qubit in instr.qubits or range(circuit.num_qubits):
+                flush(qubit)
+            result.append(instr)
+            continue
+        if len(instr.qubits) == 1:
+            matrix = single_qubit_matrix(instr.base_name, instr.params)
+            qubit = instr.qubits[0]
+            pending[qubit] = matrix @ pending.get(qubit, np.eye(2, dtype=complex))
+            continue
+        # Two-qubit gate: flush both wires, then emit the CX.
+        if instr.name != "cx":
+            raise CircuitError(f"unexpected gate {instr.name!r} after decomposition")
+        for qubit in instr.qubits:
+            flush(qubit)
+        result.append(instr)
+    for qubit in list(pending):
+        flush(qubit)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CouplingMap:
+    """Undirected device connectivity over physical qubits ``0..n-1``."""
+
+    edges: Tuple[Tuple[int, int], ...]
+
+    def graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_edges_from(self.edges)
+        return graph
+
+    @property
+    def num_qubits(self) -> int:
+        return 1 + max(max(edge) for edge in self.edges)
+
+
+def linear_coupling(num_qubits: int) -> CouplingMap:
+    """A 1-D chain — the worst case for routing overhead."""
+    return CouplingMap(tuple((q, q + 1) for q in range(num_qubits - 1)))
+
+
+def grid_coupling(rows: int, cols: int) -> CouplingMap:
+    """A rows x cols lattice (heavy-hex stand-in)."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                edges.append((q, q + 1))
+            if r + 1 < rows:
+                edges.append((q, q + cols))
+    return CouplingMap(tuple(edges))
+
+
+def route_circuit(
+    circuit: QuantumCircuit, coupling: CouplingMap
+) -> Tuple[QuantumCircuit, Dict[int, int]]:
+    """Insert SWAPs so every CX is between coupled physical qubits.
+
+    Greedy strategy: keep a logical->physical mapping (initially the
+    identity); for each CX whose endpoints are not adjacent, walk the
+    control along the shortest physical path, swapping as it goes.
+
+    Args:
+        circuit: a circuit over {1q, cx} gates (run
+            :func:`to_native_basis` or :func:`decompose_circuit` first).
+        coupling: target topology; must have at least as many qubits.
+
+    Returns:
+        ``(routed circuit over physical qubits, final logical->physical
+        mapping)``.
+    """
+    if coupling.num_qubits < circuit.num_qubits:
+        raise CircuitError(
+            f"coupling map has {coupling.num_qubits} qubits, circuit needs "
+            f"{circuit.num_qubits}"
+        )
+    graph = coupling.graph()
+    logical_to_physical: Dict[int, int] = {
+        q: q for q in range(coupling.num_qubits)
+    }
+    physical_to_logical: Dict[int, int] = dict(logical_to_physical)
+    routed = QuantumCircuit(coupling.num_qubits, name=f"{circuit.name}_routed")
+
+    def swap_physical(a: int, b: int) -> None:
+        routed.cx(a, b)
+        routed.cx(b, a)
+        routed.cx(a, b)
+        la, lb = physical_to_logical[a], physical_to_logical[b]
+        physical_to_logical[a], physical_to_logical[b] = lb, la
+        logical_to_physical[lb], logical_to_physical[la] = a, b
+
+    for instr in circuit:
+        if instr.name in ("barrier",):
+            routed.barrier()
+            continue
+        if len(instr.qubits) == 1 or instr.name in ("measure", "reset"):
+            physical = tuple(logical_to_physical[q] for q in instr.qubits)
+            routed.append(
+                Instruction(instr.name, physical, instr.params, instr.ctrl_state)
+            )
+            continue
+        if instr.name != "cx":
+            raise CircuitError(
+                f"route_circuit expects a {{1q, cx}} circuit, found {instr.name!r}"
+            )
+        control = logical_to_physical[instr.qubits[0]]
+        target = logical_to_physical[instr.qubits[1]]
+        path = nx.shortest_path(graph, control, target)
+        # Walk the control toward the target, stopping one hop short.
+        for step in range(len(path) - 2):
+            swap_physical(path[step], path[step + 1])
+        control = logical_to_physical[instr.qubits[0]]
+        routed.cx(control, logical_to_physical[instr.qubits[1]])
+    return routed, {
+        q: logical_to_physical[q] for q in range(circuit.num_qubits)
+    }
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap | None = None,
+    *,
+    optimize: bool = True,
+) -> QuantumCircuit:
+    """Full pipeline: decompose, translate to native basis, optimize,
+    route (peephole optimization runs before routing so cancelled CX pairs
+    never generate SWAP traffic)."""
+    native = to_native_basis(circuit)
+    if optimize:
+        from repro.circuits.optimize import optimize_circuit
+
+        native = optimize_circuit(native)
+    if coupling is None:
+        return native
+    routed, _ = route_circuit(native, coupling)
+    return routed

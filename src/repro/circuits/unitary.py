@@ -1,0 +1,58 @@
+"""Exact unitary extraction for small circuits.
+
+Used throughout the test suite and by verification tooling: the unitary
+is built column by column through the statevector simulator, so it is
+exactly the operator the simulators implement (little-endian convention).
+Cost is ``O(4**n)`` — keep it to verification-sized circuits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import SimulationError
+
+#: Extraction above this width is almost certainly a mistake.
+MAX_QUBITS = 12
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """The ``2**n x 2**n`` unitary implemented by ``circuit``.
+
+    Measurement and barrier instructions are ignored (they do not affect
+    the unitary part); ``reset`` raises because it is not unitary.
+    """
+    from repro.simulators.statevector import StatevectorSimulator
+
+    if circuit.num_qubits > MAX_QUBITS:
+        raise SimulationError(
+            f"unitary extraction limited to {MAX_QUBITS} qubits"
+        )
+    simulator = StatevectorSimulator()
+    dim = 1 << circuit.num_qubits
+    columns = []
+    for basis in range(dim):
+        state = np.zeros(dim, dtype=np.complex128)
+        state[basis] = 1.0
+        columns.append(simulator.run(circuit, initial_state=state))
+    return np.array(columns).T
+
+
+def unitaries_equal(
+    a: np.ndarray, b: np.ndarray, *, up_to_global_phase: bool = False,
+    atol: float = 1e-9,
+) -> bool:
+    """Compare two unitaries, optionally modulo a global phase."""
+    if a.shape != b.shape:
+        return False
+    if not up_to_global_phase:
+        return bool(np.allclose(a, b, atol=atol))
+    # Align on the largest-magnitude entry of b.
+    index = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(b[index]) < atol:
+        return bool(np.allclose(a, b, atol=atol))
+    phase = a[index] / b[index]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(a, phase * b, atol=atol))

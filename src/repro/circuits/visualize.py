@@ -1,0 +1,116 @@
+"""Plain-text circuit rendering.
+
+A small fixed-width drawer in the spirit of Qiskit's ``'text'`` output:
+one row per qubit, one column per scheduled layer, controls as ``●``
+(or ``○`` for 0-controls) and targets as gate labels.
+
+>>> from repro.circuits import QuantumCircuit
+>>> qc = QuantumCircuit(2)
+>>> qc.h(0)
+>>> qc.cx(0, 1)
+>>> print(draw(qc))  # doctest: +NORMALIZE_WHITESPACE
+q0: ─[H]──●─
+q1: ──────X─
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuits.circuit import QuantumCircuit
+
+_LABELS = {
+    "x": "X", "y": "Y", "z": "Z", "h": "H", "s": "S", "sdg": "S†",
+    "t": "T", "tdg": "T†", "sx": "√X", "id": "I", "measure": "M",
+    "reset": "R",
+}
+
+
+def _label(instr) -> str:
+    base = instr.base_name
+    if base in _LABELS:
+        return _LABELS[base]
+    if instr.params:
+        return f"{base.upper()}({instr.params[0]:.2f})"
+    return base.upper()
+
+
+def draw(circuit: QuantumCircuit, *, max_width: int = 120) -> str:
+    """Render ``circuit`` as fixed-width text.
+
+    Args:
+        circuit: circuit to draw.
+        max_width: wrap into multiple blocks after this many characters.
+    """
+    n = circuit.num_qubits
+    # Layering identical to circuit_depth's list scheduling.
+    track = [0] * max(n, 1)
+    layers: List[List] = []
+    for instr in circuit:
+        if instr.name == "barrier":
+            top = max(track) if track else 0
+            track = [top] * len(track)
+            continue
+        if not instr.qubits:
+            continue
+        layer = max(track[q] for q in instr.qubits)
+        while len(layers) <= layer:
+            layers.append([])
+        layers[layer].append(instr)
+        for q in instr.qubits:
+            track[q] = layer + 1
+
+    columns: List[Dict[int, str]] = []
+    for layer in layers:
+        column: Dict[int, str] = {}
+        for instr in layer:
+            pattern = instr.control_pattern
+            for control, wanted in zip(instr.controls, pattern):
+                column[control] = "●" if wanted else "○"
+            column[instr.target] = f"[{_label(instr)}]"
+            # Mark the vertical span of multi-qubit gates.
+            if len(instr.qubits) > 1:
+                low = min(instr.qubits)
+                high = max(instr.qubits)
+                for wire in range(low + 1, high):
+                    if wire not in column and wire not in instr.qubits:
+                        column[wire] = "│"
+            if instr.base_name == "x" and instr.num_controls:
+                column[instr.target] = "X"
+        columns.append(column)
+
+    widths = [
+        max((len(cell) for cell in column.values()), default=1)
+        for column in columns
+    ]
+    rows = []
+    for qubit in range(n):
+        parts = [f"q{qubit}: "]
+        for column, width in zip(columns, widths):
+            cell = column.get(qubit, "─")
+            filler = " " if cell == "│" else "─"
+            pad = width - len(cell)
+            left = pad // 2
+            parts.append(
+                "─" + filler * left + cell + filler * (pad - left) + "─"
+            )
+        rows.append("".join(parts))
+
+    # Wrap long circuits.
+    if rows and len(rows[0]) > max_width:
+        blocks = []
+        start = 0
+        header = len(f"q{n-1}: ")
+        body = max_width - header
+        text_rows = rows
+        length = len(rows[0])
+        while start < length:
+            blocks.append(
+                "\n".join(
+                    row[:header] + row[header + start : header + start + body]
+                    for row in text_rows
+                )
+            )
+            start += body
+        return "\n...\n".join(blocks)
+    return "\n".join(rows)

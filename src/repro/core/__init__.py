@@ -1,0 +1,44 @@
+"""Rasengan: the transition-Hamiltonian approximation algorithm.
+
+The paper's primary contribution (Sections 3 and 4):
+
+* :mod:`repro.core.hamiltonian` — the transition Hamiltonian of
+  Definition 1 and its pairing action on basis states.
+* :mod:`repro.core.transition` — circuit synthesis for the transition
+  operator ``exp(-i H(u) t)`` (Figure 4).
+* :mod:`repro.core.simplify` — Hamiltonian simplification, Algorithm 1.
+* :mod:`repro.core.prune` — transition pruning and early stop (Section 4.1).
+* :mod:`repro.core.segmentation` — probability-preserving segmented
+  execution (Section 4.2).
+* :mod:`repro.core.purification` — constraint-based error mitigation
+  (Section 4.3).
+* :mod:`repro.core.solver` — the end-to-end variational solver.
+* :mod:`repro.core.expansion` — feasible-space coverage tracking
+  (Figure 17).
+"""
+
+from repro.core.hamiltonian import TransitionHamiltonian
+from repro.core.transition import transition_circuit, transition_chain_circuit
+from repro.core.simplify import simplify_basis
+from repro.core.prune import PruneResult, build_schedule, prune_schedule
+from repro.core.segmentation import SegmentPlan, plan_segments
+from repro.core.purification import purify_counts, purify_probabilities
+from repro.core.solver import RasenganResult, RasenganSolver
+from repro.core.expansion import coverage_timeline
+
+__all__ = [
+    "TransitionHamiltonian",
+    "transition_circuit",
+    "transition_chain_circuit",
+    "simplify_basis",
+    "PruneResult",
+    "build_schedule",
+    "prune_schedule",
+    "SegmentPlan",
+    "plan_segments",
+    "purify_counts",
+    "purify_probabilities",
+    "RasenganResult",
+    "RasenganSolver",
+    "coverage_timeline",
+]

@@ -1,0 +1,29 @@
+"""Connectivity augmentation of the homogeneous basis.
+
+Re-export of :mod:`repro.linalg.moves`: the search is pure lattice
+arithmetic and lives with the integer linear algebra, but conceptually it
+belongs to the Rasengan pipeline (it decides which transition Hamiltonians
+exist), so the core package exposes it here.
+
+See :func:`repro.linalg.moves.augment_moves_for_connectivity` for why this
+step is needed: Theorem 1's "more complex cases" bound silently assumes
+every basis round makes progress, which fails when feasible solutions
+differ only by combinations of basis vectors with non-binary
+intermediates.
+"""
+
+from repro.linalg.moves import (
+    DEFAULT_MAX_COMBINATION,
+    augment_moves_for_connectivity as augment_basis_for_connectivity,
+    candidate_combinations,
+    expand_closure,
+    move_partner_key,
+)
+
+__all__ = [
+    "DEFAULT_MAX_COMBINATION",
+    "augment_basis_for_connectivity",
+    "candidate_combinations",
+    "expand_closure",
+    "move_partner_key",
+]

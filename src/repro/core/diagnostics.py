@@ -1,0 +1,101 @@
+"""Human-readable diagnostics for a Rasengan solver instance.
+
+Renders the internals a practitioner wants to inspect before paying for a
+training run: the move set (with nonzero counts and CX costs), the pruned
+schedule and its coverage trajectory, the segment plan against the CX
+budget, and one synthesised transition circuit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.circuits.depth import CX_PER_NONZERO, circuit_depth
+from repro.circuits.visualize import draw
+from repro.core.solver import RasenganSolver
+from repro.core.transition import transition_circuit
+
+
+def basis_table(solver: RasenganSolver) -> str:
+    """One row per move vector: entries, nonzeros, CX cost, usage count."""
+    usage = np.zeros(solver.basis.shape[0], dtype=int)
+    for index in solver.schedule:
+        usage[index] += 1
+    lines = [f"{'#':>3} {'vector':<{solver.basis.shape[1] * 3}} {'nnz':>4} {'CX':>5} {'used':>5}"]
+    for row_index, row in enumerate(solver.basis):
+        entries = " ".join(f"{v:+d}"[0] if v else "." for v in row)
+        nnz = int(np.count_nonzero(row))
+        lines.append(
+            f"{row_index:>3} {entries:<{solver.basis.shape[1] * 3}} "
+            f"{nnz:>4} {CX_PER_NONZERO * nnz:>5} {usage[row_index]:>5}"
+        )
+    return "\n".join(lines)
+
+
+def schedule_summary(solver: RasenganSolver) -> str:
+    """Pruning statistics and the coverage trajectory."""
+    pruned = solver.pruned
+    lines = [
+        f"canonical chain: {pruned.original_length} transitions",
+        f"retained:        {len(pruned.schedule)} "
+        f"({pruned.num_pruned} pruned"
+        + (
+            f", early stop at position {pruned.early_stop_position})"
+            if pruned.early_stop_position is not None
+            else ")"
+        ),
+        f"feasible states reached: {pruned.total_reachable}",
+    ]
+    if pruned.coverage_after:
+        curve = " -> ".join(str(c) for c in [1] + list(pruned.coverage_after))
+        lines.append(f"coverage after each kept transition: {curve}")
+    return "\n".join(lines)
+
+
+def segment_summary(solver: RasenganSolver) -> str:
+    """Per-segment transition lists and CX costs."""
+    lines = [f"{'seg':>4} {'transitions':<24} {'CX cost':>8}"]
+    for index, segment in enumerate(solver.plan):
+        indices = [solver.schedule[pos] for pos in segment]
+        cost = sum(
+            CX_PER_NONZERO * int(np.count_nonzero(solver.basis[i])) for i in indices
+        )
+        lines.append(f"{index:>4} {str(indices):<24} {cost:>8}")
+    return "\n".join(lines)
+
+
+def example_transition_drawing(solver: RasenganSolver, position: int = 0) -> str:
+    """Text drawing of one scheduled transition operator circuit."""
+    if not solver.schedule:
+        return "(empty schedule)"
+    index = solver.schedule[position % len(solver.schedule)]
+    circuit = transition_circuit(
+        solver.basis[index], solver.config.initial_time, solver.problem.num_variables
+    )
+    return draw(circuit)
+
+
+def report(solver: RasenganSolver) -> str:
+    """Full pre-flight report for a solver instance."""
+    problem = solver.problem
+    header = (
+        f"Rasengan pre-flight report — {problem.name}\n"
+        f"{problem.num_variables} variables, {problem.num_constraints} "
+        f"constraints, {problem.num_feasible_solutions} feasible solutions\n"
+        f"{solver.num_parameters} parameters over {solver.num_segments} "
+        f"segments (max segment CX {solver.segment_two_qubit_cost()})"
+    )
+    sections = [
+        header,
+        "— move set " + "—" * 30,
+        basis_table(solver),
+        "— schedule " + "—" * 30,
+        schedule_summary(solver),
+        "— segments " + "—" * 30,
+        segment_summary(solver),
+        "— first transition circuit " + "—" * 14,
+        example_transition_drawing(solver),
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,109 @@
+"""Feasible-space coverage tracking (paper, Figure 17).
+
+Measures how fast a transition chain covers the feasible solution space,
+as a function of chain position, for the unpruned canonical chain versus
+the pruned chain.  The paper reports the chain-length fraction needed to
+reach full coverage (e.g. 73.6% unpruned vs 40.7% pruned on the fourth
+scale, a 1.8x speedup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.hamiltonian import TransitionHamiltonian
+from repro.core.prune import build_schedule
+from repro.linalg.bitvec import bits_to_int
+
+
+@dataclass(frozen=True)
+class CoverageTimeline:
+    """Coverage after each chain position.
+
+    Attributes:
+        covered: ``covered[i]`` = number of feasible states reached after
+            executing chain position ``i`` (position -1 would be 1, the
+            initial state).
+        chain_length: total chain length.
+        full_coverage_position: first position reaching the final coverage
+            value, or ``None`` when the chain never expands.
+    """
+
+    covered: Tuple[int, ...]
+    chain_length: int
+
+    @property
+    def final_coverage(self) -> int:
+        return self.covered[-1] if self.covered else 1
+
+    @property
+    def full_coverage_position(self) -> int | None:
+        target = self.final_coverage
+        for position, value in enumerate(self.covered):
+            if value == target:
+                return position
+        return None
+
+    @property
+    def full_coverage_fraction(self) -> float:
+        """Fraction of the chain needed to reach final coverage."""
+        position = self.full_coverage_position
+        if position is None or self.chain_length == 0:
+            return 1.0
+        return (position + 1) / self.chain_length
+
+
+def coverage_timeline(
+    basis: np.ndarray,
+    initial_bits: Sequence[int],
+    schedule: Sequence[int] | None = None,
+) -> CoverageTimeline:
+    """Reachable-set size after each position of a transition chain.
+
+    Args:
+        basis: ``(m, n)`` homogeneous basis.
+        initial_bits: starting feasible solution.
+        schedule: chain to trace; defaults to the canonical ``m x m`` chain.
+    """
+    rows = np.atleast_2d(np.asarray(basis, dtype=np.int64))
+    m, n = rows.shape
+    if schedule is None:
+        schedule = build_schedule(m)
+    hamiltonians = [TransitionHamiltonian.from_vector(rows[k]) for k in range(m)]
+    reached: Set[int] = {bits_to_int(initial_bits)}
+    covered: List[int] = []
+    for index in schedule:
+        fresh = set()
+        for key in reached:
+            partner = hamiltonians[index].partner_key(key, n)
+            if partner is not None and partner not in reached:
+                fresh.add(partner)
+        reached |= fresh
+        covered.append(len(reached))
+    return CoverageTimeline(covered=tuple(covered), chain_length=len(schedule))
+
+
+def expansion_speedup(
+    basis: np.ndarray,
+    initial_bits: Sequence[int],
+    pruned_schedule: Sequence[int],
+) -> float:
+    """How much faster the pruned chain reaches full coverage.
+
+    Figure 17 measures both chains against the *total* (unpruned) chain
+    length: the unpruned chain needs some prefix to reach full coverage;
+    the pruned chain, executing only productive transitions, needs a
+    shorter absolute prefix.  The speedup is the ratio of those prefix
+    lengths, so values above 1 mean pruning accelerates space expansion
+    (1.8x on the paper's fourth scale).
+    """
+    unpruned = coverage_timeline(basis, initial_bits)
+    pruned = coverage_timeline(basis, initial_bits, pruned_schedule)
+    unpruned_steps = (unpruned.full_coverage_position or 0) + 1
+    pruned_steps = (pruned.full_coverage_position or 0) + 1
+    if pruned_steps == 0:
+        return float("inf")
+    return unpruned_steps / pruned_steps

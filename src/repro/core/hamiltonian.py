@@ -1,0 +1,151 @@
+"""The transition Hamiltonian (paper, Definition 1).
+
+For a homogeneous basis vector ``u`` in {-1, 0, 1}^n::
+
+    H(u) = ⊗_i sigma(u_i) + ⊗_i sigma(-u_i)
+
+with ``sigma(+1) = sigma^+`` (raising, ``|1><0|``), ``sigma(-1) = sigma^-``
+(lowering, ``|0><1|``), and ``sigma(0) = I``.
+
+Acting on a computational basis state ``|x>``, the first term produces
+``|x+u>`` when ``x + u`` is binary (every ``u_i = +1`` site has ``x_i = 0``
+and every ``u_i = -1`` site has ``x_i = 1``) and zero otherwise; the second
+term produces ``|x-u>`` symmetrically.  For ``u != 0`` the two conditions
+are mutually exclusive, so ``H(u)`` is a *partial pairing*:
+``H|x> = |x±u>`` or ``H|x> = 0``.  On each matched pair it squares to the
+identity, which is what makes Equation 6's closed-form evolution
+``exp(-iHt) = cos(t) I - i sin(t) H`` hold on the pair subspace.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+from repro.linalg.bitvec import bits_to_int, is_signed_unit_vector
+
+_SIGMA_PLUS = np.array([[0, 0], [1, 0]], dtype=complex)  # |1><0|
+_SIGMA_MINUS = np.array([[0, 1], [0, 0]], dtype=complex)  # |0><1|
+_IDENTITY = np.eye(2, dtype=complex)
+
+
+@functools.lru_cache(maxsize=4096)
+def _cached_masks(basis_vector: Tuple[int, ...]) -> Tuple[int, int]:
+    """Memoised +1/-1 bitmasks of a basis vector (see linalg.moves)."""
+    mask_plus = 0
+    mask_minus = 0
+    for index, value in enumerate(basis_vector):
+        if value == 1:
+            mask_plus |= 1 << index
+        elif value == -1:
+            mask_minus |= 1 << index
+    return mask_plus, mask_minus
+
+
+def _sigma(value: int) -> np.ndarray:
+    if value == 1:
+        return _SIGMA_PLUS
+    if value == -1:
+        return _SIGMA_MINUS
+    return _IDENTITY
+
+
+@dataclass(frozen=True)
+class TransitionHamiltonian:
+    """One transition Hamiltonian ``H(u)``.
+
+    Attributes:
+        basis_vector: the homogeneous basis vector ``u`` (entries -1/0/1).
+    """
+
+    basis_vector: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not is_signed_unit_vector(self.basis_vector):
+            raise ProblemError(
+                f"transition Hamiltonian needs entries in {{-1,0,1}}, "
+                f"got {self.basis_vector}"
+            )
+
+    @classmethod
+    def from_vector(cls, u: np.ndarray) -> "TransitionHamiltonian":
+        return cls(tuple(int(v) for v in np.asarray(u)))
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.basis_vector)
+
+    @property
+    def support(self) -> Tuple[int, ...]:
+        """Indices where ``u`` is nonzero (the qubits the operator touches)."""
+        return tuple(i for i, v in enumerate(self.basis_vector) if v != 0)
+
+    @property
+    def num_nonzero(self) -> int:
+        """``k``: drives the CX cost ``34 k`` (paper, Section 3.2)."""
+        return len(self.support)
+
+    # ------------------------------------------------------------------
+    # Classical pairing action
+    # ------------------------------------------------------------------
+    def partner_of(self, x: np.ndarray) -> Optional[np.ndarray]:
+        """The basis state ``H(u)`` maps ``|x>`` to, or ``None`` if zero.
+
+        ``x + u`` and ``x - u`` cannot both be binary for ``u != 0``, so
+        the partner is unique when it exists.
+        """
+        arr = np.asarray(x, dtype=np.int64)
+        u = np.asarray(self.basis_vector, dtype=np.int64)
+        plus = arr + u
+        if np.all((plus >= 0) & (plus <= 1)):
+            return plus.astype(np.int8)
+        minus = arr - u
+        if np.all((minus >= 0) & (minus <= 1)):
+            return minus.astype(np.int8)
+        return None
+
+    def partner_key(self, key: int, num_qubits: int) -> Optional[int]:
+        """Integer-encoded version of :meth:`partner_of` (O(1) via masks)."""
+        mask_plus, mask_minus = _cached_masks(self.basis_vector)
+        if mask_plus == 0 and mask_minus == 0:
+            return None
+        from repro.linalg.moves import partner_key_from_masks
+
+        return partner_key_from_masks(key, mask_plus, mask_minus)
+
+    # ------------------------------------------------------------------
+    # Dense matrix (verification / small systems only)
+    # ------------------------------------------------------------------
+    def to_matrix(self) -> np.ndarray:
+        """Dense ``2^n x 2^n`` matrix of ``H(u)`` (little-endian qubit 0).
+
+        Only for tests and tiny systems; the solver never materialises it.
+        """
+        matrix_plus = np.array([[1.0 + 0j]])
+        matrix_minus = np.array([[1.0 + 0j]])
+        # Kron with qubit 0 least significant: later (higher) qubits go on
+        # the left of the Kronecker product.
+        for value in self.basis_vector:
+            matrix_plus = np.kron(_sigma(value), matrix_plus)
+            matrix_minus = np.kron(_sigma(-value), matrix_minus)
+        return matrix_plus + matrix_minus
+
+    def evolution_matrix(self, time: float) -> np.ndarray:
+        """Dense ``exp(-i H(u) t)`` via the pairing structure (exact)."""
+        n = self.num_qubits
+        dim = 1 << n
+        result = np.eye(dim, dtype=complex)
+        h = self.to_matrix()
+        cos, sin = np.cos(time), np.sin(time)
+        for col in range(dim):
+            rows = np.nonzero(h[:, col])[0]
+            if rows.size == 0:
+                continue
+            (row,) = rows
+            result[col, col] = cos
+            result[row, col] = -1j * sin
+        return result

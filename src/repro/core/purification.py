@@ -1,0 +1,85 @@
+"""Error mitigation by purification (paper, Section 4.3).
+
+Between segments, every measured basis state is checked against the
+constraints ``C x = b``; infeasible states (which can only appear through
+hardware noise — the noise-free algorithm never leaves the feasible space)
+are removed and the remaining distribution is renormalised before it seeds
+the next segment (Figure 8).  The check is one integer matrix-vector
+product per distinct state, which is why the paper measures its cost at
+~0.05 ms per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.exceptions import NoFeasibleStateError
+from repro.linalg.bitvec import int_to_bits
+
+
+def purify_counts(
+    counts: Dict[int, int],
+    constraint_matrix: np.ndarray,
+    bound: np.ndarray,
+) -> Tuple[Dict[int, int], float]:
+    """Remove infeasible outcomes from measured counts.
+
+    Args:
+        counts: ``{basis index: shots}``.
+        constraint_matrix: ``C``.
+        bound: ``b``.
+
+    Returns:
+        ``(purified counts, in-constraints rate)`` where the rate is the
+        fraction of shots that survived.
+
+    Raises:
+        NoFeasibleStateError: when *no* measured state is feasible — the
+            failure mode the paper observes past ~2% amplitude damping
+            (Section 5.5), which terminates optimization early.
+    """
+    matrix = np.asarray(constraint_matrix, dtype=np.int64)
+    target = np.asarray(bound, dtype=np.int64)
+    n = matrix.shape[1]
+    total = sum(counts.values())
+    if total == 0:
+        raise NoFeasibleStateError("no shots to purify")
+    purified: Dict[int, int] = {}
+    for key, value in counts.items():
+        bits = int_to_bits(key, n).astype(np.int64)
+        if np.array_equal(matrix @ bits, target):
+            purified[key] = value
+    kept = sum(purified.values())
+    if kept == 0:
+        raise NoFeasibleStateError(
+            "every measured state violates the constraints; "
+            "segment output cannot seed the next segment"
+        )
+    return purified, kept / total
+
+
+def purify_probabilities(
+    probabilities: Dict[int, float],
+    constraint_matrix: np.ndarray,
+    bound: np.ndarray,
+) -> Tuple[Dict[int, float], float]:
+    """Probability-distribution variant of :func:`purify_counts`.
+
+    Returns the renormalised feasible distribution and the feasible mass.
+    """
+    matrix = np.asarray(constraint_matrix, dtype=np.int64)
+    target = np.asarray(bound, dtype=np.int64)
+    n = matrix.shape[1]
+    feasible: Dict[int, float] = {}
+    for key, probability in probabilities.items():
+        bits = int_to_bits(key, n).astype(np.int64)
+        if np.array_equal(matrix @ bits, target):
+            feasible[key] = probability
+    mass = sum(feasible.values())
+    if mass <= 0:
+        raise NoFeasibleStateError(
+            "purification removed all probability mass"
+        )
+    return {key: p / mass for key, p in feasible.items()}, mass

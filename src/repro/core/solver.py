@@ -1,0 +1,489 @@
+"""End-to-end Rasengan solver.
+
+Pipeline (paper, Sections 3-4):
+
+1. compute the signed-unit homogeneous basis of ``C u = 0``;
+2. *simplify* it (Algorithm 1) to reduce per-transition CX cost;
+3. build the canonical ``m x m`` transition chain and *prune* it;
+4. cut the chain into *segments* and execute them sequentially, seeding
+   each segment from the previous segment's measured distribution with
+   proportional shot allocation;
+5. *purify* every segment output against ``C x = b``;
+6. drive the per-transition evolution times with COBYLA to minimise the
+   expected objective of the final feasible distribution.
+
+Two execution engines are provided:
+
+* an exact sparse engine (``backend=None``) that evolves a
+  :class:`~repro.simulators.sparsestate.SparseState` directly through the
+  transition operators — the offline counterpart of the artifact's DDSim
+  path; optionally with shot sampling;
+* a gate-level engine that synthesises each segment as a circuit and runs
+  it on any :class:`~repro.simulators.backends.Backend` (ideal or noisy).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize as sciopt
+
+from repro.circuits.depth import CX_PER_NONZERO
+from repro.core.prune import PruneResult, build_schedule, prune_schedule
+from repro.core.purification import purify_counts, purify_probabilities
+from repro.core.segmentation import (
+    SegmentPlan,
+    allocate_shots,
+    merge_counts,
+    plan_segments,
+    plan_segments_by_cost,
+)
+from repro.core.simplify import simplify_basis
+from repro.core.transition import transition_chain_circuit
+from repro.exceptions import NoFeasibleStateError, SolverError
+from repro.linalg.bitvec import bits_to_int, int_to_bits
+from repro.linalg.moves import augment_moves_for_connectivity
+from repro.metrics.arg import approximation_ratio_gap
+from repro.problems.base import ConstrainedBinaryProblem
+from repro.simulators.backends import Backend
+from repro.simulators.sampling import counts_from_probabilities
+from repro.simulators.sparsestate import SparseState
+
+#: Score assigned when an execution produces no feasible state at all.
+_FAILURE_SCORE = 1e9
+
+
+@dataclass
+class RasenganConfig:
+    """Solver knobs.
+
+    Attributes:
+        shots: measurement shots per segment execution (``None`` with the
+            sparse engine means exact probabilities, no sampling).
+        max_iterations: COBYLA iteration budget (paper: 300 noise-free,
+            100 on hardware).
+        transitions_per_segment: chain length per segment (1 = the
+            minimal-depth configuration; used when ``max_segment_cx`` is
+            ``None``).
+        max_segment_cx: when set, segments are packed greedily so each
+            stays within this CX budget (the paper's deployment policy —
+            e.g. F1 runs as 3 segments of ~49 depth); takes precedence
+            over ``transitions_per_segment``.
+        enable_simplify: run Algorithm 1 on the basis.
+        simplify_iterate: iterate Algorithm 1 to a fixed point.
+        enable_prune: prune unproductive transitions / early stop.
+        enable_augment: add signed-unit basis combinations when single
+            transitions cannot connect the feasible space (see
+            :mod:`repro.core.augment`).
+        enable_purify: constraint-based purification between segments.
+        initial_time: starting evolution time for every transition.
+        shots_growth: geometric growth factor of per-segment shots; later
+            segments carry the accumulated distribution, so giving them
+            more shots preserves probability information better (Figure 7
+            boosts the final segment 10x).  1.0 = uniform shots.
+        warm_start: hill-climb the initial feasible solution along the
+            move set before building the schedule (classical, free, never
+            worse than the domain construction).
+        restarts: independent COBYLA starts (the first from
+            ``initial_time``, the rest from perturbed time vectors); the
+            best final score wins.  Multi-start is the standard cure for
+            the non-convex time landscape's local optima.
+        rhobeg: COBYLA initial trust-region radius.
+        seed: RNG seed for sampling.
+        min_seed_probability: segment-input states below this probability
+            are dropped (emulates finite shot resolution when running with
+            exact probabilities).
+    """
+
+    shots: Optional[int] = 1024
+    max_iterations: int = 100
+    transitions_per_segment: int = 1
+    max_segment_cx: Optional[int] = None
+    enable_simplify: bool = True
+    simplify_iterate: bool = True
+    enable_prune: bool = True
+    enable_augment: bool = True
+    enable_purify: bool = True
+    initial_time: float = math.pi / 4
+    shots_growth: float = 1.0
+    warm_start: bool = False
+    restarts: int = 1
+    rhobeg: float = 0.4
+    seed: Optional[int] = None
+    min_seed_probability: float = 1e-4
+
+
+@dataclass
+class RasenganResult:
+    """Outcome of one Rasengan training run."""
+
+    problem_name: str
+    best_parameters: np.ndarray
+    expectation_value: float
+    best_sampled_value: float
+    best_sampled_solution: np.ndarray
+    optimal_value: float
+    arg: float
+    in_constraints_rate: float
+    final_distribution: Dict[int, float]
+    iterations: int
+    history: List[float]
+    num_parameters: int
+    num_segments: int
+    schedule: List[int]
+    pruned: PruneResult
+    basis: np.ndarray
+    failed: bool = False
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (
+            f"{self.problem_name}: ARG={self.arg:.4f} "
+            f"E[obj]={self.expectation_value:.3f} (opt={self.optimal_value:.3f}) "
+            f"in-constraints={self.in_constraints_rate:.1%} "
+            f"segments={self.num_segments} params={self.num_parameters}"
+        )
+
+
+class RasenganSolver:
+    """Variational solver implementing the full Rasengan pipeline."""
+
+    def __init__(
+        self,
+        problem: ConstrainedBinaryProblem,
+        backend: Optional[Backend] = None,
+        config: Optional[RasenganConfig] = None,
+    ) -> None:
+        self.problem = problem
+        self.backend = backend
+        self.config = config or RasenganConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+
+        self.initial_bits = problem.initial_feasible_solution()
+        self.basis = self._choose_basis(problem.homogeneous_basis)
+        if self.config.warm_start:
+            from repro.core.warmstart import hill_climb_initial_solution
+
+            # Hill climbing moves along the move set, so the improved
+            # start stays in the same connected component and coverage
+            # guarantees are unaffected.
+            self.initial_bits = hill_climb_initial_solution(
+                problem, self.basis, start=self.initial_bits
+            )
+
+        m = self.basis.shape[0]
+        if self.config.enable_prune:
+            self.pruned = prune_schedule(self.basis, self.initial_bits)
+        else:
+            full = build_schedule(m)
+            self.pruned = PruneResult(
+                schedule=list(full),
+                kept_positions=list(range(len(full))),
+                original_length=len(full),
+                coverage_after=[],
+                total_reachable=-1,
+            )
+        self.schedule: List[int] = list(self.pruned.schedule)
+        if self.config.max_segment_cx is not None:
+            costs = [
+                CX_PER_NONZERO * int(np.count_nonzero(self.basis[index]))
+                for index in self.schedule
+            ]
+            self.plan: SegmentPlan = plan_segments_by_cost(
+                costs, self.config.max_segment_cx
+            )
+        else:
+            self.plan = plan_segments(
+                len(self.schedule), self.config.transitions_per_segment
+            )
+
+    # ------------------------------------------------------------------
+    # Basis selection
+    # ------------------------------------------------------------------
+    def _choose_basis(self, raw: np.ndarray) -> np.ndarray:
+        """Pick the cheapest connected move set.
+
+        Simplification (Algorithm 1) lowers per-transition cost but can
+        disconnect the feasible space, forcing connectivity augmentation
+        to add back wide vectors; occasionally the raw basis ends up
+        cheaper overall.  When both simplification and augmentation are
+        enabled, the solver evaluates both candidates by the pruned-chain
+        CX cost and keeps the cheaper one.
+        """
+        candidates = []
+        if self.config.enable_simplify:
+            candidates.append(
+                simplify_basis(raw, iterate=self.config.simplify_iterate)
+            )
+        if not self.config.enable_simplify or self.config.enable_augment:
+            candidates.append(raw)
+        if self.config.enable_augment:
+            candidates = [
+                augment_moves_for_connectivity(basis, self.initial_bits)
+                for basis in candidates
+            ]
+        if len(candidates) == 1:
+            return candidates[0]
+
+        def pruned_cost(basis: np.ndarray) -> int:
+            pruned = prune_schedule(basis, self.initial_bits)
+            return sum(
+                int(np.count_nonzero(basis[index])) for index in pruned.schedule
+            )
+
+        return min(candidates, key=pruned_cost)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        """One evolution time per retained transition."""
+        return len(self.schedule)
+
+    @property
+    def num_segments(self) -> int:
+        return self.plan.num_segments
+
+    def segment_two_qubit_cost(self) -> int:
+        """Largest per-segment CX cost under the linear ``34 k`` model."""
+        cost = 0
+        for segment in self.plan:
+            segment_cost = sum(
+                CX_PER_NONZERO * int(np.count_nonzero(self.basis[self.schedule[pos]]))
+                for pos in segment
+            )
+            cost = max(cost, segment_cost)
+        return cost
+
+    def chain_two_qubit_cost(self) -> int:
+        """Whole-chain CX cost under the linear model (unsegmented)."""
+        return sum(
+            CX_PER_NONZERO * int(np.count_nonzero(self.basis[index]))
+            for index in self.schedule
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self, times: Sequence[float]
+    ) -> Tuple[Dict[int, float], float]:
+        """Run the segmented pipeline with the given evolution times.
+
+        Returns:
+            ``(final distribution, in-constraints rate)`` where the
+            distribution is purified when purification is enabled, and the
+            rate refers to the *final segment's raw output* (what the
+            in-constraints metric of Figure 11b reports).
+
+        Raises:
+            NoFeasibleStateError: when purification is enabled and a
+                segment output contains no feasible state.
+        """
+        if len(times) != self.num_parameters:
+            raise SolverError(
+                f"expected {self.num_parameters} times, got {len(times)}"
+            )
+        if self.backend is None:
+            return self._execute_sparse(times)
+        return self._execute_backend(times)
+
+    def _segment_shots(self, segment_index: int, base: int) -> int:
+        """Shots for one segment under the geometric growth schedule."""
+        growth = self.config.shots_growth
+        if growth == 1.0:
+            return base
+        return max(1, int(round(base * growth**segment_index)))
+
+    def _execute_sparse(
+        self, times: Sequence[float]
+    ) -> Tuple[Dict[int, float], float]:
+        distribution: Dict[int, float] = {bits_to_int(self.initial_bits): 1.0}
+        rate = 1.0
+        for index, segment in enumerate(self.plan):
+            state = SparseState.from_distribution(
+                self.problem.num_variables, distribution
+            )
+            for position in segment:
+                state.apply_transition(
+                    self.basis[self.schedule[position]], times[position]
+                )
+            raw = state.probabilities()
+            if self.config.shots is not None:
+                shots = self._segment_shots(index, self.config.shots)
+                counts = counts_from_probabilities(raw, shots, self._rng)
+                raw = {k: v / shots for k, v in counts.items()}
+            rate = self._feasible_mass(raw)
+            distribution = self._purify_or_keep(raw)
+            distribution = self._drop_tiny(distribution)
+        return distribution, rate
+
+    def _execute_backend(
+        self, times: Sequence[float]
+    ) -> Tuple[Dict[int, float], float]:
+        base_shots = self.config.shots or 1024
+        distribution: Dict[int, float] = {bits_to_int(self.initial_bits): 1.0}
+        rate = 1.0
+        n = self.problem.num_variables
+        for index, segment in enumerate(self.plan):
+            schedule_slice = [self.schedule[pos] for pos in segment]
+            times_slice = [times[pos] for pos in segment]
+            allocation = allocate_shots(
+                distribution, self._segment_shots(index, base_shots)
+            )
+            outputs = []
+            for key, state_shots in allocation.items():
+                circuit = transition_chain_circuit(
+                    self.basis, schedule_slice, times_slice, n
+                )
+                counts = self.backend.run(
+                    circuit, state_shots, initial_bits=int_to_bits(key, n)
+                )
+                outputs.append(counts)
+            merged = merge_counts(outputs)
+            total = sum(merged.values())
+            raw = {k: v / total for k, v in merged.items()}
+            rate = self._feasible_mass(raw)
+            distribution = self._purify_or_keep(raw)
+            distribution = self._drop_tiny(distribution)
+        return distribution, rate
+
+    # ------------------------------------------------------------------
+    def _feasible_mass(self, distribution: Dict[int, float]) -> float:
+        mass = 0.0
+        n = self.problem.num_variables
+        for key, probability in distribution.items():
+            if self.problem.is_feasible(int_to_bits(key, n)):
+                mass += probability
+        return mass
+
+    def _purify_or_keep(self, raw: Dict[int, float]) -> Dict[int, float]:
+        if not self.config.enable_purify:
+            return raw
+        purified, _ = purify_probabilities(
+            raw, self.problem.constraint_matrix, self.problem.bound
+        )
+        return purified
+
+    def _drop_tiny(self, distribution: Dict[int, float]) -> Dict[int, float]:
+        threshold = self.config.min_seed_probability
+        kept = {k: p for k, p in distribution.items() if p >= threshold}
+        if not kept:
+            kept = distribution
+        mass = sum(kept.values())
+        return {k: p / mass for k, p in kept.items()}
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _score(self, distribution: Dict[int, float]) -> float:
+        """Expected minimization-oriented objective over feasible states."""
+        n = self.problem.num_variables
+        numerator = 0.0
+        mass = 0.0
+        for key, probability in distribution.items():
+            bits = int_to_bits(key, n)
+            if self.problem.is_feasible(bits):
+                numerator += probability * self.problem.value(bits)
+                mass += probability
+        if mass <= 0:
+            return _FAILURE_SCORE
+        return numerator / mass
+
+    def solve(self) -> RasenganResult:
+        """Train the evolution times and return the best result found."""
+        history: List[float] = []
+
+        def objective(times: np.ndarray) -> float:
+            try:
+                distribution, _ = self.execute(times)
+            except NoFeasibleStateError:
+                history.append(_FAILURE_SCORE)
+                return _FAILURE_SCORE
+            score = self._score(distribution)
+            history.append(score)
+            return score
+
+        x0 = np.full(self.num_parameters, self.config.initial_time)
+        if self.num_parameters == 0:
+            # Degenerate problem: a single feasible solution.
+            return self._finalize(x0, history)
+
+        best = x0
+        best_score = np.inf
+        for restart in range(max(self.config.restarts, 1)):
+            if restart == 0:
+                start = x0
+            else:
+                start = x0 + self._rng.uniform(
+                    -self.config.initial_time,
+                    self.config.initial_time,
+                    size=self.num_parameters,
+                )
+            outcome = sciopt.minimize(
+                objective,
+                start,
+                method="COBYLA",
+                options={
+                    "maxiter": self.config.max_iterations,
+                    "rhobeg": self.config.rhobeg,
+                },
+            )
+            candidate = np.asarray(outcome.x)
+            score = objective(candidate)
+            if score < best_score:
+                best_score = score
+                best = candidate
+        return self._finalize(best, history)
+
+    def _finalize(
+        self, best_parameters: np.ndarray, history: List[float]
+    ) -> RasenganResult:
+        n = self.problem.num_variables
+        try:
+            distribution, rate = self.execute(best_parameters)
+            failed = False
+        except NoFeasibleStateError:
+            distribution, rate, failed = {}, 0.0, True
+
+        if failed:
+            expectation = _FAILURE_SCORE
+            best_key = bits_to_int(self.initial_bits)
+            best_bits = self.initial_bits
+        else:
+            expectation = self._score(distribution)
+            feasible_items = [
+                (key, probability)
+                for key, probability in distribution.items()
+                if self.problem.is_feasible(int_to_bits(key, n))
+            ]
+            best_key = min(
+                feasible_items,
+                key=lambda item: self.problem.value(int_to_bits(item[0], n)),
+            )[0]
+            best_bits = int_to_bits(best_key, n)
+
+        optimal = self.problem.optimal_value
+        return RasenganResult(
+            problem_name=self.problem.name,
+            best_parameters=np.asarray(best_parameters, dtype=float),
+            expectation_value=expectation,
+            best_sampled_value=self.problem.value(best_bits),
+            best_sampled_solution=best_bits,
+            optimal_value=optimal,
+            arg=approximation_ratio_gap(optimal, expectation),
+            in_constraints_rate=1.0 if (self.config.enable_purify and not failed) else rate,
+            final_distribution=distribution,
+            iterations=len(history),
+            history=history,
+            num_parameters=self.num_parameters,
+            num_segments=self.num_segments,
+            schedule=list(self.schedule),
+            pruned=self.pruned,
+            basis=self.basis,
+            failed=failed,
+        )

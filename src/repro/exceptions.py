@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming errors
+such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or invalid gate applications."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator cannot execute a circuit."""
+
+
+class ProblemError(ReproError):
+    """Raised for ill-formed constrained binary optimization problems."""
+
+
+class InfeasibleProblemError(ProblemError):
+    """Raised when a problem instance has no feasible solution."""
+
+
+class LinearAlgebraError(ReproError):
+    """Raised when integer linear-algebra routines receive invalid input."""
+
+
+class SolverError(ReproError):
+    """Raised when a variational solver cannot make progress.
+
+    The most important instance is segmented execution under heavy noise:
+    when a segment produces no feasible state, there is no valid input for
+    the next segment and optimization terminates early (paper, Section 5.3).
+    """
+
+
+class NoFeasibleStateError(SolverError):
+    """Raised when noise destroys every feasible state in a segment output."""

@@ -1,0 +1,25 @@
+"""Experiment harness: one module per table/figure of the evaluation.
+
+Each module exposes a ``run_*`` function returning structured results and a
+``format_*`` helper rendering the same rows/series the paper reports.  The
+``benchmarks/`` directory drives these functions under pytest-benchmark;
+``examples/`` reuses some of them for narrative walkthroughs.
+
+| Paper artifact | Module |
+|---|---|
+| Table 1  | :mod:`repro.experiments.table1` |
+| Table 2  | :mod:`repro.experiments.table2` |
+| Figure 9 | :mod:`repro.experiments.fig09_layers` |
+| Figure 10| :mod:`repro.experiments.fig10_scalability` |
+| Figure 11| :mod:`repro.experiments.fig11_hardware` |
+| Figure 12| :mod:`repro.experiments.fig12_latency` |
+| Figure 13| :mod:`repro.experiments.fig13_segments` |
+| Figure 14| :mod:`repro.experiments.fig14_noise` |
+| Figure 15| :mod:`repro.experiments.fig15_ablation_depth` |
+| Figure 16| :mod:`repro.experiments.fig16_ablation_quality` |
+| Figure 17| :mod:`repro.experiments.fig17_pruning` |
+"""
+
+from repro.experiments.runner import AlgorithmRun, run_algorithm
+
+__all__ = ["AlgorithmRun", "run_algorithm"]

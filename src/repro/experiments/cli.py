@@ -1,0 +1,180 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro table1
+    python -m repro fig15 fig17
+    python -m repro --list
+    python -m repro all --quick
+
+Each experiment prints the same rows/series the paper reports.  The
+``--quick`` flag shrinks iteration budgets for smoke runs; benchmark-grade
+budgets are the defaults (and ``pytest benchmarks/ --benchmark-only``
+additionally asserts the paper's qualitative shapes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Tuple
+
+
+def _table1(quick: bool) -> str:
+    from repro.experiments.table1 import format_table1, run_table1
+
+    return format_table1(run_table1(max_iterations=40 if quick else 120))
+
+
+def _table2(quick: bool) -> str:
+    from repro.experiments.table2 import format_table2, run_table2
+
+    ids = ("F1", "K1", "J1", "S1", "G1") if quick else None
+    return format_table2(
+        run_table2(benchmark_ids=ids, cases=1, max_iterations=60 if quick else 150)
+    )
+
+
+def _fig9(quick: bool) -> str:
+    from repro.experiments.fig09_layers import format_fig9, run_fig9
+
+    layers = (1, 4, 8) if quick else (1, 2, 4, 6, 8, 10, 12, 14)
+    return format_fig9(run_fig9(layer_counts=layers,
+                                max_iterations=60 if quick else 150))
+
+
+def _fig10(quick: bool) -> str:
+    from repro.experiments.fig10_scalability import format_fig10, run_fig10
+
+    sizes = ((2, 1), (2, 2), (2, 3)) if quick else (
+        (2, 1), (2, 2), (2, 3), (3, 3), (3, 4), (4, 4)
+    )
+    return format_fig10(run_fig10(sizes=sizes, max_iterations=60 if quick else 120))
+
+
+def _fig11(quick: bool) -> str:
+    from repro.experiments.fig11_hardware import format_fig11, run_fig11
+
+    return format_fig11(
+        run_fig11(
+            max_iterations=10 if quick else 25,
+            shots=256 if quick else 512,
+            max_trajectories=8 if quick else 24,
+        )
+    )
+
+
+def _fig12(quick: bool) -> str:
+    from repro.experiments.fig12_latency import format_fig12, run_fig12
+
+    return format_fig12(run_fig12(max_iterations=40 if quick else 100))
+
+
+def _fig13(quick: bool) -> str:
+    from repro.experiments.fig13_segments import format_fig13, run_fig13
+
+    return format_fig13(run_fig13(max_iterations=40 if quick else 100))
+
+
+def _fig14(quick: bool) -> str:
+    from repro.experiments.fig14_noise import format_fig14, run_fig14a, run_fig14b
+
+    panel_a = run_fig14a(
+        benchmark_ids=("F1",) if quick else ("F1", "K1"),
+        max_iterations=8 if quick else 20,
+        shots=256,
+        max_trajectories=8,
+    )
+    panel_b = run_fig14b(
+        max_iterations=8 if quick else 15,
+        shots=256,
+        max_trajectories=8,
+    )
+    return (
+        format_fig14(panel_a, "error rate")
+        + "\n\n"
+        + format_fig14(panel_b, "damping")
+    )
+
+
+def _fig15(quick: bool) -> str:
+    from repro.experiments.fig15_ablation_depth import format_fig15, run_fig15
+
+    return format_fig15(run_fig15())
+
+
+def _fig16(quick: bool) -> str:
+    from repro.experiments.fig16_ablation_quality import format_fig16, run_fig16
+
+    return format_fig16(
+        run_fig16(
+            max_iterations_exact=40 if quick else 120,
+            max_iterations_noisy=8 if quick else 20,
+            shots=256 if quick else 512,
+            max_trajectories=8 if quick else 16,
+        )
+    )
+
+
+def _fig17(quick: bool) -> str:
+    from repro.experiments.fig17_pruning import format_fig17, run_fig17
+
+    domains = ("flp", "kpp") if quick else ("flp", "kpp", "scp", "gcp")
+    return format_fig17(run_fig17(domains=domains))
+
+
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], str]]] = {
+    "table1": ("Table 1: ARG + latency summary", _table1),
+    "table2": ("Table 2: 20 benchmarks x 4 algorithms", _table2),
+    "fig9": ("Figure 9: ARG vs QAOA layers", _fig9),
+    "fig10": ("Figure 10: FLP scalability", _fig10),
+    "fig11": ("Figure 11: fake-hardware ARG + in-constraints", _fig11),
+    "fig12": ("Figure 12: latency breakdown", _fig12),
+    "fig13": ("Figure 13: shots/latency vs segments", _fig13),
+    "fig14": ("Figure 14: noise sensitivity", _fig14),
+    "fig15": ("Figure 15: depth ablation", _fig15),
+    "fig16": ("Figure 16: quality ablation", _fig16),
+    "fig17": ("Figure 17: pruning expansion speed", _fig17),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids (e.g. table1 fig15), or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="shrink budgets for a smoke run"
+    )
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or not args.experiments:
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name:<8} {description}")
+        return 0
+    requested = args.experiments
+    if requested == ["all"]:
+        requested = list(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in requested:
+        description, runner = EXPERIMENTS[name]
+        print(f"=== {name}: {description} ===")
+        print(runner(args.quick))
+        print()
+    return 0

@@ -1,0 +1,87 @@
+"""Figure 9: ARG versus QAOA layer count on the F1 benchmark.
+
+The paper's finding: Choco-Q needs ~14 layers (circuit depth ~1419) to
+approach Rasengan's quality, P-QAOA barely improves with depth, and
+Rasengan's quality is layer-free (its chain length is fixed by the pruned
+schedule, executed as shallow segments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.baselines import ChocoQ, PenaltyQAOA
+from repro.circuits.depth import circuit_depth
+from repro.experiments.runner import run_algorithm
+from repro.problems import make_benchmark
+
+
+@dataclass
+class LayerSweepPoint:
+    layers: int
+    arg: float
+    depth: int
+
+
+@dataclass
+class Fig9Result:
+    pqaoa: List[LayerSweepPoint]
+    chocoq: List[LayerSweepPoint]
+    rasengan_arg: float
+    rasengan_segment_depth: int
+    rasengan_segments: int
+
+
+def run_fig9(
+    *,
+    layer_counts: Sequence[int] = (1, 2, 4, 6, 8, 10, 12, 14),
+    max_iterations: int = 150,
+    seed: int = 0,
+) -> Fig9Result:
+    """Sweep layers for the QAOA variants against fixed-depth Rasengan."""
+    problem = make_benchmark("F1", 0)
+    pqaoa_points: List[LayerSweepPoint] = []
+    chocoq_points: List[LayerSweepPoint] = []
+    for layers in layer_counts:
+        pqaoa = PenaltyQAOA(
+            problem, layers=layers, shots=None, max_iterations=max_iterations,
+            seed=seed,
+        )
+        result = pqaoa.solve()
+        depth = circuit_depth(
+            pqaoa.build_circuit(result.best_parameters), decompose=True
+        )
+        pqaoa_points.append(LayerSweepPoint(layers, result.arg, depth))
+
+        chocoq = ChocoQ(
+            problem, layers=layers, shots=None, max_iterations=max_iterations
+        )
+        result = chocoq.solve()
+        depth = circuit_depth(
+            chocoq.build_circuit(result.best_parameters), decompose=True
+        )
+        chocoq_points.append(LayerSweepPoint(layers, result.arg, depth))
+
+    rasengan = run_algorithm(
+        "rasengan", problem, max_iterations=max_iterations, seed=seed
+    )
+    return Fig9Result(
+        pqaoa=pqaoa_points,
+        chocoq=chocoq_points,
+        rasengan_arg=rasengan.arg,
+        rasengan_segment_depth=rasengan.executed_depth,
+        rasengan_segments=rasengan.num_segments,
+    )
+
+
+def format_fig9(result: Fig9Result) -> str:
+    lines = [f"{'layers':>6} {'P-QAOA ARG':>12} {'Choco-Q ARG':>12} {'Choco-Q depth':>14}"]
+    for p, c in zip(result.pqaoa, result.chocoq):
+        lines.append(f"{p.layers:>6} {p.arg:>12.3f} {c.arg:>12.3f} {c.depth:>14}")
+    lines.append(
+        f"Rasengan: ARG={result.rasengan_arg:.3f} with "
+        f"{result.rasengan_segments} segments of depth "
+        f"{result.rasengan_segment_depth} (layer-free)"
+    )
+    return "\n".join(lines)

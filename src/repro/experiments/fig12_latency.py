@@ -1,0 +1,85 @@
+"""Figure 12: training latency breakdown per algorithm.
+
+Classical versus quantum time for one full training run of each method,
+from the analytic latency model fed with the measured circuit structure.
+
+Expected shape: penalty methods (HEA, P-QAOA) are classical-dominated
+(>70%) because they score every infeasible sample against the quadratic
+penalty objective; Choco-Q is quantum-dominated by its deep mixer; Rasengan
+cuts total time below Choco-Q by executing shallow segments, paying only a
+small classical surcharge for segment handling/purification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuits.latency import LatencyReport
+from repro.experiments.runner import ALGORITHMS, run_algorithm
+from repro.metrics.latency import algorithm_latency
+from repro.problems import make_benchmark
+
+
+@dataclass
+class LatencyCell:
+    algorithm: str
+    quantum: float
+    classical: float
+    purification: float
+
+    @property
+    def total(self) -> float:
+        return self.quantum + self.classical + self.purification
+
+    @property
+    def classical_fraction(self) -> float:
+        return (self.classical + self.purification) / self.total
+
+
+def run_fig12(
+    *,
+    benchmark_id: str = "F1",
+    algorithms: Optional[Sequence[str]] = None,
+    max_iterations: int = 100,
+    shots: int = 1024,
+    seed: int = 0,
+) -> List[LatencyCell]:
+    """Latency breakdown on one benchmark."""
+    problem = make_benchmark(benchmark_id, 0)
+    cells: List[LatencyCell] = []
+    for name in algorithms or ALGORITHMS:
+        run = run_algorithm(name, problem, max_iterations=max_iterations, seed=seed)
+        report: LatencyReport = algorithm_latency(
+            name,
+            iterations=run.iterations,
+            shots=shots,
+            depth_1q=run.executed_depth,
+            depth_2q=run.executed_depth_2q,
+            num_parameters=run.num_parameters,
+            segments=run.num_segments,
+            distinct_states=max(len(run.final_distribution), 1),
+        )
+        cells.append(
+            LatencyCell(
+                algorithm=name,
+                quantum=report.quantum,
+                classical=report.classical,
+                purification=report.purification,
+            )
+        )
+    return cells
+
+
+def format_fig12(cells: List[LatencyCell]) -> str:
+    lines = [
+        f"{'method':<10} {'quantum(s)':>11} {'classical(s)':>13} "
+        f"{'purif.(s)':>10} {'total(s)':>9} {'classical%':>11}"
+    ]
+    for cell in cells:
+        lines.append(
+            f"{cell.algorithm:<10} {cell.quantum:>11.3f} {cell.classical:>13.3f} "
+            f"{cell.purification:>10.4f} {cell.total:>9.3f} "
+            f"{cell.classical_fraction:>10.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Figure 13: shots and latency as a function of the segment count.
+
+The same pruned transition chain is executed with different segmentation
+granularities.  Expected shapes: total shots grow *linearly* with the
+number of segments (1024 shots per segment); latency grows *sub-linearly*
+because each extra segment shortens the circuit that dominates execution
+time, leaving measurement/initialization and classical handling as the
+marginal cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.solver import RasenganConfig, RasenganSolver
+from repro.metrics.latency import algorithm_latency
+from repro.problems import make_benchmark
+
+
+@dataclass
+class SegmentSweepPoint:
+    num_segments: int
+    transitions_per_segment: int
+    total_shots: int
+    latency_seconds: float
+    arg: float
+
+
+def run_fig13(
+    *,
+    benchmark_id: str = "S1",
+    shots_per_segment: int = 1024,
+    max_iterations: int = 120,
+    seed: int = 0,
+    segment_sizes: Optional[Sequence[int]] = None,
+) -> List[SegmentSweepPoint]:
+    """Sweep segmentation granularity on one benchmark."""
+    problem = make_benchmark(benchmark_id, 0)
+    probe = RasenganSolver(
+        problem, config=RasenganConfig(shots=None, max_iterations=1, seed=seed)
+    )
+    chain = len(probe.schedule)
+    if segment_sizes is None:
+        segment_sizes = sorted(
+            {chain, max(chain // 2, 1), max(chain // 4, 1), 2, 1}, reverse=True
+        )
+    points: List[SegmentSweepPoint] = []
+    for size in segment_sizes:
+        config = RasenganConfig(
+            shots=None,
+            max_iterations=max_iterations,
+            transitions_per_segment=size,
+            seed=seed,
+        )
+        solver = RasenganSolver(problem, config=config)
+        result = solver.solve()
+        depth_cx = solver.segment_two_qubit_cost()
+        latency = algorithm_latency(
+            "rasengan",
+            iterations=result.iterations,
+            shots=shots_per_segment,
+            depth_1q=depth_cx * 2,  # 1q work tracks the CX envelope
+            depth_2q=depth_cx,
+            num_parameters=result.num_parameters,
+            segments=result.num_segments,
+            distinct_states=max(len(result.final_distribution), 1),
+        )
+        points.append(
+            SegmentSweepPoint(
+                num_segments=result.num_segments,
+                transitions_per_segment=size,
+                total_shots=shots_per_segment * result.num_segments,
+                latency_seconds=latency.total,
+                arg=result.arg,
+            )
+        )
+    return sorted(points, key=lambda p: p.num_segments)
+
+
+def format_fig13(points: List[SegmentSweepPoint]) -> str:
+    lines = [
+        f"{'#segments':>9} {'trans/seg':>10} {'total shots':>12} "
+        f"{'latency(s)':>11} {'ARG':>8}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.num_segments:>9} {p.transitions_per_segment:>10} "
+            f"{p.total_shots:>12} {p.latency_seconds:>11.3f} {p.arg:>8.3f}"
+        )
+    return "\n".join(lines)

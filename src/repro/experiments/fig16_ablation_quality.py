@@ -1,0 +1,95 @@
+"""Figure 16: ablation of the optimizations on ARG and in-constraints rate.
+
+Each configuration toggles the solver's knobs cumulatively and is
+evaluated both noise-free (exact engine) and on a fake noisy device:
+
+* base       — no simplification, no pruning, no purification,
+               whole chain in one segment;
+* + opt 1    — simplification;
+* + opt 2    — pruning + early stop;
+* + opt 3    — per-transition segmentation with purification.
+
+Expected shapes: opt 1 barely moves ARG (same evolution, cheaper gates);
+opt 2 helps by dropping invalid transitions (and, under noise, by cutting
+depth); opt 3 delivers the big noisy-hardware win — purification forces a
+100% in-constraints rate while the unpurified configurations collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.solver import RasenganConfig, RasenganSolver
+from repro.problems import make_benchmark
+from repro.simulators.backends import Backend, fake_kyiv
+
+#: (label, config overrides) in cumulative order.
+CONFIGURATIONS = (
+    ("base", dict(enable_simplify=False, enable_prune=False,
+                  enable_purify=False, transitions_per_segment=10**6)),
+    ("+opt1", dict(enable_simplify=True, enable_prune=False,
+                   enable_purify=False, transitions_per_segment=10**6)),
+    ("+opt2", dict(enable_simplify=True, enable_prune=True,
+                   enable_purify=False, transitions_per_segment=10**6)),
+    ("+opt3", dict(enable_simplify=True, enable_prune=True,
+                   enable_purify=True, transitions_per_segment=1)),
+)
+
+
+@dataclass
+class AblationQualityCell:
+    configuration: str
+    environment: str
+    arg: Optional[float]
+    in_constraints_rate: float
+    failed: bool
+
+
+def run_fig16(
+    *,
+    benchmark_id: str = "F1",
+    max_iterations_exact: int = 120,
+    max_iterations_noisy: int = 20,
+    shots: int = 512,
+    max_trajectories: int = 16,
+    seed: int = 0,
+) -> List[AblationQualityCell]:
+    """Run all four configurations in both environments."""
+    problem = make_benchmark(benchmark_id, 0)
+    cells: List[AblationQualityCell] = []
+    environments = (
+        ("noise-free", None, max_iterations_exact, None),
+        ("fake-kyiv", fake_kyiv(seed=seed, max_trajectories=max_trajectories),
+         max_iterations_noisy, shots),
+    )
+    for label, overrides in CONFIGURATIONS:
+        for env_name, backend, iterations, env_shots in environments:
+            config = RasenganConfig(
+                shots=env_shots,
+                max_iterations=iterations,
+                seed=seed,
+                **overrides,
+            )
+            result = RasenganSolver(problem, backend=backend, config=config).solve()
+            cells.append(
+                AblationQualityCell(
+                    configuration=label,
+                    environment=env_name,
+                    arg=None if result.failed else result.arg,
+                    in_constraints_rate=result.in_constraints_rate,
+                    failed=result.failed,
+                )
+            )
+    return cells
+
+
+def format_fig16(cells: List[AblationQualityCell]) -> str:
+    lines = [f"{'config':<7} {'environment':<12} {'ARG':>10} {'in-constraints':>15}"]
+    for cell in cells:
+        arg = "FAILED" if cell.failed else f"{cell.arg:.3f}"
+        lines.append(
+            f"{cell.configuration:<7} {cell.environment:<12} {arg:>10} "
+            f"{cell.in_constraints_rate:>14.1%}"
+        )
+    return "\n".join(lines)

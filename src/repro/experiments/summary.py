@@ -1,0 +1,85 @@
+"""Headline improvement factors (the paper's abstract numbers).
+
+Aggregates a Table-2 run and a Figure-11 run into the handful of numbers
+the paper leads with: ARG improvement over Choco-Q / P-QAOA / HEA, circuit
+depth reduction, and the hardware-ARG improvement factor over the best
+baseline (the paper's 379x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.experiments.fig11_hardware import Fig11Result
+from repro.experiments.table2 import Table2
+from repro.metrics.statistics import geometric_mean
+
+
+@dataclass
+class Headline:
+    """The abstract-level summary numbers."""
+
+    arg_vs_chocoq: float
+    arg_vs_pqaoa: float
+    arg_vs_hea: float
+    depth_vs_chocoq: float
+    hardware_improvement: Optional[float] = None
+
+    def format(self) -> str:
+        lines = [
+            f"ARG improvement over Choco-Q (geo-mean): {self.arg_vs_chocoq:.2f}x",
+            f"ARG improvement over P-QAOA  (geo-mean): {self.arg_vs_pqaoa:.1f}x",
+            f"ARG improvement over HEA     (geo-mean): {self.arg_vs_hea:.1f}x",
+            f"executed-depth reduction vs Choco-Q:     {self.depth_vs_chocoq:.1f}x",
+        ]
+        if self.hardware_improvement is not None:
+            lines.append(
+                f"hardware ARG improvement vs best baseline: "
+                f"{self.hardware_improvement:.0f}x"
+            )
+        return "\n".join(lines)
+
+
+def headline_from_results(
+    table2: Table2, fig11: Optional[Fig11Result] = None
+) -> Headline:
+    """Compute the headline factors from experiment results.
+
+    ARG ratios are geometric means of per-benchmark baseline/rasengan
+    ratios (zero-ARG cells are floored at 1e-3 so perfect Rasengan runs
+    do not produce infinite factors).
+    """
+
+    def arg_ratio(baseline: str) -> float:
+        ratios = []
+        for per_algo in table2.cells.values():
+            if baseline in per_algo and "rasengan" in per_algo:
+                ours = max(per_algo["rasengan"].arg, 1e-3)
+                theirs = max(getattr(per_algo[baseline], "arg"), 1e-3)
+                ratios.append(theirs / ours)
+        return geometric_mean(ratios)
+
+    hardware: Optional[float] = None
+    if fig11 is not None:
+        rasengan_args = [c.arg for c in fig11.cells if c.algorithm == "rasengan"]
+        baseline_args: Dict[str, list] = {}
+        for cell in fig11.cells:
+            if cell.algorithm != "rasengan":
+                baseline_args.setdefault(cell.algorithm, []).append(cell.arg)
+        if rasengan_args and baseline_args:
+            ours = max(float(np.mean(rasengan_args)), 1e-3)
+            best_baseline = min(
+                float(np.mean(values)) for values in baseline_args.values()
+            )
+            hardware = best_baseline / ours
+
+    return Headline(
+        arg_vs_chocoq=arg_ratio("chocoq"),
+        arg_vs_pqaoa=arg_ratio("pqaoa"),
+        arg_vs_hea=arg_ratio("hea"),
+        depth_vs_chocoq=table2.improvement_over("chocoq", "depth"),
+        hardware_improvement=hardware,
+    )

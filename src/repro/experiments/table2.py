@@ -1,0 +1,140 @@
+"""Table 2: algorithmic evaluation across the 20 benchmark families.
+
+For every benchmark (F1..G4) and every algorithm, reports ARG, executed
+circuit depth, and parameter count, averaged over ``cases`` randomized
+instances — the offline counterpart of the paper's 400-case protocol
+(their own artifact scales this to ~10 cases).
+
+Dense baselines are skipped above ``max_dense_qubits`` (the paper used a
+GPU farm for those points); Rasengan runs everywhere thanks to the sparse
+engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import ALGORITHMS, run_algorithm
+from repro.metrics.statistics import summarize
+from repro.problems import BENCHMARK_IDS, make_benchmark
+
+
+@dataclass
+class Table2Cell:
+    """Mean metrics of one (benchmark, algorithm) pair across cases."""
+
+    arg: float
+    depth: int
+    num_parameters: int
+    cases: int
+    arg_std: float = 0.0
+    in_constraints_rate: float = 1.0
+
+
+@dataclass
+class Table2:
+    """benchmark id -> algorithm -> cell; plus the problem shape row."""
+
+    cells: Dict[str, Dict[str, Table2Cell]] = field(default_factory=dict)
+    shapes: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def improvement_over(self, baseline: str, metric: str = "arg") -> float:
+        """Geometric-mean ratio baseline/rasengan over shared benchmarks."""
+        ratios = []
+        for per_algo in self.cells.values():
+            if baseline in per_algo and "rasengan" in per_algo:
+                ours = getattr(per_algo["rasengan"], metric)
+                theirs = getattr(per_algo[baseline], metric)
+                if ours > 0 and theirs > 0:
+                    ratios.append(theirs / ours)
+        if not ratios:
+            return float("nan")
+        return float(np.exp(np.mean(np.log(ratios))))
+
+
+def run_table2(
+    *,
+    benchmark_ids: Optional[Sequence[str]] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    cases: int = 1,
+    max_iterations: int = 200,
+    max_dense_qubits: int = 14,
+    seed: int = 0,
+) -> Table2:
+    """Populate Table 2.
+
+    Args:
+        benchmark_ids: subset of families (default: all 20).
+        algorithms: subset of algorithms (default: all four).
+        cases: randomized instances per family.
+        max_iterations: COBYLA budget per run.
+        max_dense_qubits: skip dense baselines above this qubit count.
+        seed: base RNG seed.
+    """
+    table = Table2()
+    for benchmark_id in benchmark_ids or BENCHMARK_IDS:
+        per_algo: Dict[str, List] = {}
+        sample = make_benchmark(benchmark_id, 0)
+        table.shapes[benchmark_id] = {
+            "variables": sample.num_variables,
+            "constraints": sample.num_constraints,
+            "feasible": sample.num_feasible_solutions,
+        }
+        for case in range(cases):
+            problem = make_benchmark(benchmark_id, case)
+            for name in algorithms or ALGORITHMS:
+                dense = name in ("hea", "pqaoa")
+                if dense and problem.num_variables > max_dense_qubits:
+                    continue
+                run = run_algorithm(
+                    name,
+                    problem,
+                    max_iterations=max_iterations,
+                    seed=seed + case,
+                )
+                per_algo.setdefault(name, []).append(run)
+        table.cells[benchmark_id] = {}
+        for name, runs in per_algo.items():
+            args = summarize([r.arg for r in runs])
+            table.cells[benchmark_id][name] = Table2Cell(
+                arg=args.mean,
+                depth=int(np.mean([r.executed_depth for r in runs])),
+                num_parameters=int(np.mean([r.num_parameters for r in runs])),
+                cases=len(runs),
+                arg_std=args.std,
+                in_constraints_rate=float(
+                    np.mean([r.in_constraints_rate for r in runs])
+                ),
+            )
+    return table
+
+
+def format_table2(table: Table2) -> str:
+    algorithms = sorted(
+        {name for per_algo in table.cells.values() for name in per_algo}
+    )
+    lines = []
+    header = f"{'bench':<6} {'n':>4} {'m':>4} {'#feas':>6}"
+    for name in algorithms:
+        header += f" | {name+' ARG':>12} {'depth':>6} {'#par':>5}"
+    lines.append(header)
+    for benchmark_id, per_algo in table.cells.items():
+        shape = table.shapes[benchmark_id]
+        line = (
+            f"{benchmark_id:<6} {shape['variables']:>4} "
+            f"{shape['constraints']:>4} {shape['feasible']:>6}"
+        )
+        for name in algorithms:
+            cell = per_algo.get(name)
+            if cell is None:
+                line += f" | {'—':>12} {'—':>6} {'—':>5}"
+            else:
+                line += (
+                    f" | {cell.arg:>12.3f} {cell.depth:>6d} "
+                    f"{cell.num_parameters:>5d}"
+                )
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Integer linear algebra for constraint systems ``C x = b``.
+
+This subpackage is the classical foundation of Rasengan's expansion-based
+search (paper, Section 3): the homogeneous basis of ``C u = 0`` with entries
+in ``{-1, 0, 1}`` generates every feasible solution from a single particular
+solution, and the same vectors define the transition Hamiltonians.
+"""
+
+from repro.linalg.bitvec import (
+    bits_to_int,
+    hamming_weight,
+    int_to_bits,
+    is_binary_vector,
+)
+from repro.linalg.nullspace import integer_nullspace, rational_rref
+from repro.linalg.feasible import (
+    enumerate_feasible_bruteforce,
+    enumerate_feasible_by_expansion,
+    greedy_particular_solution,
+)
+from repro.linalg.tum import is_totally_unimodular
+
+__all__ = [
+    "bits_to_int",
+    "int_to_bits",
+    "hamming_weight",
+    "is_binary_vector",
+    "integer_nullspace",
+    "rational_rref",
+    "enumerate_feasible_bruteforce",
+    "enumerate_feasible_by_expansion",
+    "greedy_particular_solution",
+    "is_totally_unimodular",
+]

@@ -1,0 +1,90 @@
+"""Bit-vector conventions shared by the whole library.
+
+A solution of an ``n``-variable problem is a binary vector
+``x = (x_1, ..., x_n)``.  Variable ``x_i`` lives on qubit ``i - 1`` and on bit
+``i - 1`` of the integer encoding, i.e. the encoding is **little-endian**:
+
+>>> bits_to_int([1, 0, 1])
+5
+>>> int_to_bits(5, 3)
+array([1, 0, 1], dtype=int8)
+
+Using one explicit convention everywhere (problems, simulators, Hamiltonians,
+measurement results) is what keeps the quantum and classical halves of the
+library consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def bits_to_int(bits: Sequence[int] | np.ndarray) -> int:
+    """Encode a binary vector as an integer (bit ``i`` = variable ``x_{i+1}``).
+
+    Args:
+        bits: sequence of 0/1 values.
+
+    Returns:
+        The little-endian integer encoding of ``bits``.
+    """
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit:
+            value |= 1 << i
+    return value
+
+
+def int_to_bits(value: int, n: int) -> np.ndarray:
+    """Decode an integer into an ``n``-entry binary vector.
+
+    Args:
+        value: integer in ``[0, 2**n)``.
+        n: number of variables.
+
+    Returns:
+        ``int8`` array of length ``n`` with the little-endian bits of
+        ``value``.
+    """
+    if value < 0 or value >= (1 << n):
+        raise ValueError(f"value {value} does not fit in {n} bits")
+    return np.array([(value >> i) & 1 for i in range(n)], dtype=np.int8)
+
+
+def all_bitvectors(n: int) -> np.ndarray:
+    """Return a ``(2**n, n)`` matrix whose rows are all binary vectors.
+
+    Row ``k`` is ``int_to_bits(k, n)``.  Vectorised; intended for
+    brute-force enumeration of small (``n <= ~22``) problems.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    values = np.arange(1 << n, dtype=np.int64)
+    columns = [(values >> i) & 1 for i in range(n)]
+    if not columns:
+        return np.zeros((1, 0), dtype=np.int8)
+    return np.stack(columns, axis=1).astype(np.int8)
+
+
+def hamming_weight(bits: Iterable[int]) -> int:
+    """Number of nonzero entries of a vector."""
+    return int(sum(1 for bit in bits if bit))
+
+
+def is_binary_vector(vec: Sequence[int] | np.ndarray) -> bool:
+    """True when every entry of ``vec`` is 0 or 1."""
+    arr = np.asarray(vec)
+    return bool(np.all((arr == 0) | (arr == 1)))
+
+
+def is_signed_unit_vector(vec: Sequence[int] | np.ndarray) -> bool:
+    """True when every entry of ``vec`` is -1, 0 or 1.
+
+    This is the validity condition for homogeneous basis vectors used by the
+    transition Hamiltonian (paper, Definition 1) and by Hamiltonian
+    simplification (Algorithm 1's ``isValid``).
+    """
+    arr = np.asarray(vec)
+    return bool(np.all((arr == -1) | (arr == 0) | (arr == 1)))

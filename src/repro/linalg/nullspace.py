@@ -1,0 +1,180 @@
+"""Exact integer nullspace computation for constraint matrices.
+
+Rasengan (paper, Section 3) needs a *homogeneous basis* ``{u}`` of
+``C u = 0`` whose entries lie in ``{-1, 0, 1}`` so that each ``u`` can be
+turned into a transition Hamiltonian.  Floating-point nullspaces
+(``scipy.linalg.null_space``) return orthonormal real vectors, which are
+useless here, so we perform exact Gauss-Jordan elimination over the
+rationals with :class:`fractions.Fraction` and then scale each free-variable
+basis vector to a primitive integer vector.
+
+For the constraint systems produced by the benchmark problems in
+:mod:`repro.problems` (assignment/one-hot/covering structure, which are
+totally unimodular or close to it) the resulting basis is automatically a
+signed-unit basis.  When it is not, :func:`integer_nullspace` can optionally
+apply the same pairwise-combination trick as Algorithm 1 to repair entries
+outside ``{-1, 0, 1}``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import LinearAlgebraError
+from repro.linalg.bitvec import is_signed_unit_vector
+
+
+def rational_rref(matrix: np.ndarray) -> Tuple[List[List[Fraction]], List[int]]:
+    """Reduced row echelon form over the rationals.
+
+    Args:
+        matrix: integer (or rational-valued) 2-D array.
+
+    Returns:
+        ``(rref, pivot_columns)`` where ``rref`` is a list of rows of
+        :class:`~fractions.Fraction` and ``pivot_columns`` lists the pivot
+        column index of each nonzero row, in order.
+    """
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise LinearAlgebraError("expected a 2-D matrix")
+    rows, cols = arr.shape
+    work = [[Fraction(int(arr[r, c])) for c in range(cols)] for r in range(rows)]
+
+    pivot_columns: List[int] = []
+    pivot_row = 0
+    for col in range(cols):
+        if pivot_row >= rows:
+            break
+        # Find a row with a nonzero entry in this column.
+        chosen = None
+        for r in range(pivot_row, rows):
+            if work[r][col] != 0:
+                chosen = r
+                break
+        if chosen is None:
+            continue
+        work[pivot_row], work[chosen] = work[chosen], work[pivot_row]
+        pivot = work[pivot_row][col]
+        work[pivot_row] = [entry / pivot for entry in work[pivot_row]]
+        for r in range(rows):
+            if r != pivot_row and work[r][col] != 0:
+                factor = work[r][col]
+                work[r] = [
+                    entry - factor * pivot_entry
+                    for entry, pivot_entry in zip(work[r], work[pivot_row])
+                ]
+        pivot_columns.append(col)
+        pivot_row += 1
+    return work, pivot_columns
+
+
+def _primitive_integer_vector(vec: List[Fraction]) -> np.ndarray:
+    """Scale a rational vector to a primitive (gcd 1) integer vector."""
+    denominators = [entry.denominator for entry in vec]
+    scale = 1
+    for den in denominators:
+        scale = scale * den // gcd(scale, den)
+    ints = [int(entry * scale) for entry in vec]
+    common = 0
+    for value in ints:
+        common = gcd(common, abs(value))
+    if common > 1:
+        ints = [value // common for value in ints]
+    return np.array(ints, dtype=np.int64)
+
+
+def integer_nullspace(
+    matrix: np.ndarray,
+    *,
+    require_signed_unit: bool = False,
+) -> np.ndarray:
+    """Primitive integer basis of the nullspace of ``matrix``.
+
+    Uses the standard free-variable construction: for every non-pivot column
+    ``f`` there is one basis vector with ``u_f = 1``, the pivot variables
+    solved from the RREF, and the remaining free variables zero.
+
+    Args:
+        matrix: integer constraint matrix ``C`` of shape ``(m, n)``.
+        require_signed_unit: when True, attempt to repair basis vectors whose
+            entries fall outside ``{-1, 0, 1}`` by pairwise addition and
+            subtraction with other basis vectors (the same moves as
+            Algorithm 1), and raise :class:`LinearAlgebraError` if any vector
+            cannot be repaired.
+
+    Returns:
+        Array of shape ``(k, n)`` whose rows span ``null(C)`` over the
+        rationals, each row a primitive integer vector.
+    """
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise LinearAlgebraError("expected a 2-D constraint matrix")
+    _, cols = arr.shape
+    rref, pivot_columns = rational_rref(arr)
+    pivot_set = set(pivot_columns)
+    free_columns = [c for c in range(cols) if c not in pivot_set]
+
+    basis: List[np.ndarray] = []
+    for free in free_columns:
+        vec = [Fraction(0)] * cols
+        vec[free] = Fraction(1)
+        for row_index, pivot_col in enumerate(pivot_columns):
+            vec[pivot_col] = -rref[row_index][free]
+        basis.append(_primitive_integer_vector(vec))
+
+    if not basis:
+        return np.zeros((0, cols), dtype=np.int64)
+    result = np.stack(basis)
+
+    if require_signed_unit:
+        result = repair_signed_unit_basis(result)
+    return result
+
+
+def repair_signed_unit_basis(basis: np.ndarray) -> np.ndarray:
+    """Drive every basis vector's entries into ``{-1, 0, 1}`` if possible.
+
+    Repeatedly replaces an invalid vector ``u_i`` with ``u_i ± u_j`` whenever
+    the move reduces the sum of absolute entries.  These moves keep the span
+    unchanged (they are elementary row operations).  Raises
+    :class:`LinearAlgebraError` when no further move helps but an invalid
+    vector remains.
+    """
+    work = basis.astype(np.int64).copy()
+    m = work.shape[0]
+
+    def magnitude(vec: np.ndarray) -> int:
+        return int(np.abs(vec).sum())
+
+    for _ in range(64 * max(m, 1)):
+        invalid = [i for i in range(m) if not is_signed_unit_vector(work[i])]
+        if not invalid:
+            return work
+        improved = False
+        for i in invalid:
+            best = work[i]
+            best_mag = magnitude(best)
+            for j in range(m):
+                if j == i:
+                    continue
+                for candidate in (work[i] + work[j], work[i] - work[j]):
+                    if magnitude(candidate) < best_mag:
+                        best = candidate
+                        best_mag = magnitude(candidate)
+            if best is not work[i] and best_mag < magnitude(work[i]):
+                work[i] = best
+                improved = True
+        if not improved:
+            break
+    invalid = [i for i in range(m) if not is_signed_unit_vector(work[i])]
+    if invalid:
+        raise LinearAlgebraError(
+            "could not reduce nullspace basis to signed-unit vectors; "
+            f"rows {invalid} remain outside {{-1,0,1}}"
+        )
+    return work

@@ -1,0 +1,66 @@
+"""Total unimodularity testing.
+
+Theorem 1 of the paper distinguishes totally unimodular (TU) constraint
+matrices — where ``m`` rounds of the ``m`` transition Hamiltonians cover the
+feasible space — from general matrices where the bound is ``m**3``.  The
+benchmark families (assignment, one-hot, interval/covering structures) are
+TU or near-TU, and the tests in ``tests/test_linalg_tum.py`` rely on this
+module for ground truth.
+
+The implementation checks the determinant of every square submatrix, which
+is exponential; a ``max_order`` cap keeps it usable inside tests.  A fast
+sufficient condition (interval matrices / network matrices) is also exposed.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+
+def is_totally_unimodular(matrix: np.ndarray, *, max_order: int | None = None) -> bool:
+    """True when every square submatrix has determinant in {-1, 0, 1}.
+
+    Args:
+        matrix: integer matrix to test.
+        max_order: largest submatrix order to check; defaults to
+            ``min(m, n)`` (the exact test).  Lowering it turns this into a
+            necessary-condition check for large matrices.
+    """
+    arr = np.asarray(matrix, dtype=np.int64)
+    if arr.size == 0:
+        return True
+    if np.any(np.abs(arr) > 1):
+        return False
+    rows, cols = arr.shape
+    order_limit = min(rows, cols)
+    if max_order is not None:
+        order_limit = min(order_limit, max_order)
+    for order in range(2, order_limit + 1):
+        for row_idx in combinations(range(rows), order):
+            sub_rows = arr[list(row_idx)]
+            for col_idx in combinations(range(cols), order):
+                sub = sub_rows[:, list(col_idx)]
+                det = round(float(np.linalg.det(sub.astype(np.float64))))
+                if det not in (-1, 0, 1):
+                    return False
+    return True
+
+
+def is_interval_matrix(matrix: np.ndarray) -> bool:
+    """Sufficient TU condition: each column's nonzeros are consecutive 1s.
+
+    Interval (consecutive-ones) matrices are a classical TU family; several
+    scheduling formulations fall into it.
+    """
+    arr = np.asarray(matrix, dtype=np.int64)
+    if np.any((arr != 0) & (arr != 1)):
+        return False
+    for col in arr.T:
+        nonzero = np.flatnonzero(col)
+        if nonzero.size and not np.array_equal(
+            nonzero, np.arange(nonzero[0], nonzero[-1] + 1)
+        ):
+            return False
+    return True

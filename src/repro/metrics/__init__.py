@@ -1,0 +1,10 @@
+"""Evaluation metrics (paper, Section 5.1)."""
+
+from repro.metrics.arg import approximation_ratio_gap, in_constraints_rate
+from repro.metrics.latency import algorithm_latency
+
+__all__ = [
+    "approximation_ratio_gap",
+    "in_constraints_rate",
+    "algorithm_latency",
+]

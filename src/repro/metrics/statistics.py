@@ -1,0 +1,69 @@
+"""Summary statistics for multi-case experiment protocols.
+
+The paper reports per-benchmark means over 100–400 randomized cases; this
+module provides the aggregation used by the Table-2 harness: mean,
+standard deviation, standard error, geometric mean (for improvement
+ratios), and a normal-approximation confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Aggregate of one metric over repeated cases."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.count <= 1:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-approximation CI (default 95%)."""
+        half = z * self.sem
+        return (self.mean - half, self.mean + half)
+
+    def __str__(self) -> str:
+        if self.count == 1:
+            return f"{self.mean:.3f}"
+        return f"{self.mean:.3f}±{self.sem:.3f}"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarise a non-empty sequence of metric values."""
+    if len(values) == 0:
+        raise ValueError("cannot summarise an empty sequence")
+    arr = np.asarray(values, dtype=float)
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def geometric_mean(ratios: Iterable[float]) -> float:
+    """Geometric mean of positive ratios (NaN when none qualify).
+
+    The right average for "A improves over B by Nx" claims, which is how
+    the paper aggregates its 4.12x / 1.96x / 49x headline numbers.
+    """
+    logs: List[float] = [math.log(r) for r in ratios if r > 0]
+    if not logs:
+        return float("nan")
+    return float(math.exp(sum(logs) / len(logs)))

@@ -1,0 +1,44 @@
+"""Constrained binary optimization benchmark problems.
+
+The five application domains the paper evaluates (Section 5.1):
+
+* facility location (FLP),
+* k-partition / graph partitioning (KPP),
+* job scheduling on identical machines (JSP),
+* set cover (SCP),
+* graph coloring (GCP).
+
+Each problem exposes the canonical form ``min f(x)  s.t.  C x = b,
+x in {0,1}^n`` (inequalities already converted to equalities with unit slack
+bits so the constraint matrix stays in {-1,0,1}), a *linear-time*
+domain-specific feasible initialization (paper, "Complexity of finding a
+feasible solution"), and instance generators for randomized cases.
+"""
+
+from repro.problems.base import ConstrainedBinaryProblem
+from repro.problems.facility_location import FacilityLocationProblem
+from repro.problems.k_partition import KPartitionProblem
+from repro.problems.job_scheduling import JobSchedulingProblem
+from repro.problems.set_cover import SetCoverProblem
+from repro.problems.graph_coloring import GraphColoringProblem
+from repro.problems.registry import (
+    BENCHMARK_IDS,
+    BenchmarkSpec,
+    benchmark_spec,
+    make_benchmark,
+    benchmark_suite,
+)
+
+__all__ = [
+    "ConstrainedBinaryProblem",
+    "FacilityLocationProblem",
+    "KPartitionProblem",
+    "JobSchedulingProblem",
+    "SetCoverProblem",
+    "GraphColoringProblem",
+    "BENCHMARK_IDS",
+    "BenchmarkSpec",
+    "benchmark_spec",
+    "make_benchmark",
+    "benchmark_suite",
+]

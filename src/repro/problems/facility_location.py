@@ -1,0 +1,120 @@
+"""Uncapacitated facility location (FLP).
+
+Decide which facilities to open (``y_i``) and which open facility serves
+each demand (``x_ij``), minimising fixed opening costs plus assignment
+costs::
+
+    min  sum_i open_cost_i * y_i + sum_ij assign_cost_ij * x_ij
+    s.t. sum_i x_ij = 1                      for every demand j
+         x_ij - y_i + s_ij = 0               for every pair (i, j)
+
+The linking inequality ``x_ij <= y_i`` is converted to an equality with one
+unit slack bit ``s_ij``, keeping the constraint matrix in {-1, 0, 1}.
+
+Variable layout: ``[y_0..y_{f-1}, x_00..x_{f-1,d-1}, s_00..s_{f-1,d-1}]``
+with ``x`` and ``s`` in facility-major order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+from repro.problems.base import ConstrainedBinaryProblem
+
+
+class FacilityLocationProblem(ConstrainedBinaryProblem):
+    """An FLP instance.
+
+    Args:
+        open_costs: length-``f`` fixed cost of opening each facility.
+        assign_costs: ``(f, d)`` cost of serving demand ``j`` from
+            facility ``i``.
+        name: instance name.
+    """
+
+    def __init__(
+        self,
+        open_costs: np.ndarray,
+        assign_costs: np.ndarray,
+        name: str = "flp",
+    ) -> None:
+        self.open_costs = np.asarray(open_costs, dtype=np.float64)
+        self.assign_costs = np.asarray(assign_costs, dtype=np.float64)
+        if self.assign_costs.ndim != 2:
+            raise ProblemError("assign_costs must be (facilities, demands)")
+        f, d = self.assign_costs.shape
+        if self.open_costs.shape != (f,):
+            raise ProblemError("open_costs length must equal facility count")
+        self.num_facilities = f
+        self.num_demands = d
+
+        n = f + 2 * f * d
+        m = d + f * d
+        matrix = np.zeros((m, n), dtype=np.int64)
+        bound = np.zeros(m, dtype=np.int64)
+        # Demand coverage: sum_i x_ij = 1.
+        for j in range(d):
+            for i in range(f):
+                matrix[j, self.x_index(i, j)] = 1
+            bound[j] = 1
+        # Linking: x_ij - y_i + s_ij = 0.
+        for i in range(f):
+            for j in range(d):
+                row = d + i * d + j
+                matrix[row, self.x_index(i, j)] = 1
+                matrix[row, self.y_index(i)] = -1
+                matrix[row, self.s_index(i, j)] = 1
+        super().__init__(name, matrix, bound, sense="min")
+
+    # ------------------------------------------------------------------
+    # Variable layout
+    # ------------------------------------------------------------------
+    def y_index(self, facility: int) -> int:
+        """Index of the opening variable of ``facility``."""
+        return facility
+
+    def x_index(self, facility: int, demand: int) -> int:
+        """Index of the assignment variable ``x_{facility,demand}``."""
+        return self.num_facilities + facility * self.num_demands + demand
+
+    def s_index(self, facility: int, demand: int) -> int:
+        """Index of the slack bit of the linking constraint."""
+        offset = self.num_facilities + self.num_facilities * self.num_demands
+        return offset + facility * self.num_demands + demand
+
+    # ------------------------------------------------------------------
+    def objective(self, x: np.ndarray) -> float:
+        arr = np.asarray(x, dtype=np.float64)
+        open_part = float(self.open_costs @ arr[: self.num_facilities])
+        assignment = arr[
+            self.num_facilities : self.num_facilities
+            + self.num_facilities * self.num_demands
+        ].reshape(self.num_facilities, self.num_demands)
+        return open_part + float((self.assign_costs * assignment).sum())
+
+    def initial_feasible_solution(self) -> np.ndarray:
+        """Open facility 0 and route every demand to it — ``O(d)`` time."""
+        solution = np.zeros(self.num_variables, dtype=np.int8)
+        solution[self.y_index(0)] = 1
+        for j in range(self.num_demands):
+            solution[self.x_index(0, j)] = 1
+        # Slacks: s_ij = y_i - x_ij; zero everywhere for this construction.
+        return solution
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        num_facilities: int,
+        num_demands: int,
+        seed: Optional[int] = None,
+        name: str = "flp",
+    ) -> "FacilityLocationProblem":
+        """Random instance with integer costs (opening ≫ assignment)."""
+        rng = np.random.default_rng(seed)
+        open_costs = rng.integers(3, 10, size=num_facilities)
+        assign_costs = rng.integers(1, 6, size=(num_facilities, num_demands))
+        return cls(open_costs, assign_costs, name=name)

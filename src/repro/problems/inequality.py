@@ -1,0 +1,151 @@
+"""Generic inequality-to-equality conversion with unit slack bits.
+
+The paper's problem form (Equation 1) takes equality constraints only;
+"the inequality constraints can be transformed into equality using
+auxiliary binary variables" (Section 2.1).  The shipped domains each do
+this by hand; this module provides the general transformation for custom
+problems:
+
+* ``a.x <= b``  becomes  ``a.x + s_1 + ... + s_k = b``
+* ``a.x >= b``  becomes  ``a.x - s_1 - ... - s_k = b``
+
+with ``k`` *unit* slack bits, where ``k`` is the worst-case slack range
+of the row over binary ``x``.  Unit bits (rather than one binary-encoded
+slack integer) keep every matrix entry in {-1, 0, 1}, which is the
+precondition for a signed-unit homogeneous basis and hence for transition
+Hamiltonians.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+
+#: Recognised constraint senses.
+SENSES = ("<=", ">=", "==")
+
+
+@dataclass(frozen=True)
+class SlackConversion:
+    """Result of converting a mixed system to pure equalities.
+
+    Attributes:
+        matrix: the widened equality matrix (original variables first,
+            slack bits appended in row order).
+        bound: unchanged right-hand sides.
+        num_original: number of original variables.
+        slack_ranges: per-row ``(start, stop)`` slack column ranges in the
+            widened matrix (empty range for equality rows).
+    """
+
+    matrix: np.ndarray
+    bound: np.ndarray
+    num_original: int
+    slack_ranges: Tuple[Tuple[int, int], ...]
+
+    @property
+    def num_slack(self) -> int:
+        return int(self.matrix.shape[1]) - self.num_original
+
+    def lift(self, x: np.ndarray) -> np.ndarray:
+        """Extend an original-variable assignment with consistent slacks.
+
+        Raises :class:`ProblemError` when ``x`` violates an inequality
+        (no binary slack assignment can fix the row).
+        """
+        x = np.asarray(x, dtype=np.int64)
+        if x.shape != (self.num_original,):
+            raise ProblemError("assignment length mismatch")
+        lifted = np.zeros(self.matrix.shape[1], dtype=np.int8)
+        lifted[: self.num_original] = x
+        for row, (start, stop) in enumerate(self.slack_ranges):
+            residual = int(
+                self.bound[row]
+                - self.matrix[row, : self.num_original] @ x
+            )
+            width = stop - start
+            if width == 0:
+                if residual != 0:
+                    raise ProblemError(f"equality row {row} violated")
+                continue
+            sign = int(self.matrix[row, start])  # +1 for <=, -1 for >=
+            needed = residual * sign
+            if needed < 0 or needed > width:
+                raise ProblemError(
+                    f"row {row}: inequality violated (needs {needed} of "
+                    f"{width} slack bits)"
+                )
+            lifted[start : start + needed] = 1
+        return lifted
+
+
+def slack_bound(coefficients: np.ndarray, bound: int, sense: str) -> int:
+    """Worst-case number of unit slack bits one inequality row needs."""
+    coefficients = np.asarray(coefficients, dtype=np.int64)
+    row_min = int(np.minimum(coefficients, 0).sum())
+    row_max = int(np.maximum(coefficients, 0).sum())
+    if sense == "<=":
+        # slack = b - a.x ranges up to b - row_min.
+        return max(bound - row_min, 0)
+    if sense == ">=":
+        return max(row_max - bound, 0)
+    raise ProblemError(f"not an inequality sense: {sense!r}")
+
+
+def to_equalities(
+    matrix: np.ndarray,
+    bound: Sequence[int],
+    senses: Sequence[str],
+) -> SlackConversion:
+    """Convert a mixed <= / >= / == system into pure equalities.
+
+    Args:
+        matrix: ``(m, n)`` integer coefficient matrix with entries in
+            {-1, 0, 1}.
+        bound: length-``m`` right-hand sides.
+        senses: length-``m`` sequence of ``"<="``, ``">="`` or ``"=="``.
+    """
+    matrix = np.asarray(matrix, dtype=np.int64)
+    bound_arr = np.asarray(bound, dtype=np.int64)
+    if matrix.ndim != 2:
+        raise ProblemError("matrix must be 2-D")
+    m, n = matrix.shape
+    if bound_arr.shape != (m,) or len(senses) != m:
+        raise ProblemError("bound/senses length mismatch")
+    if np.any(np.abs(matrix) > 1):
+        raise ProblemError(
+            "entries outside {-1,0,1}: the transition-Hamiltonian framework "
+            "requires signed-unit constraint coefficients"
+        )
+    for sense in senses:
+        if sense not in SENSES:
+            raise ProblemError(f"unknown sense {sense!r}")
+
+    widths: List[int] = []
+    for row in range(m):
+        if senses[row] == "==":
+            widths.append(0)
+        else:
+            widths.append(slack_bound(matrix[row], int(bound_arr[row]), senses[row]))
+    total_slack = sum(widths)
+    widened = np.zeros((m, n + total_slack), dtype=np.int64)
+    widened[:, :n] = matrix
+    ranges: List[Tuple[int, int]] = []
+    cursor = n
+    for row in range(m):
+        width = widths[row]
+        ranges.append((cursor, cursor + width))
+        if width:
+            sign = 1 if senses[row] == "<=" else -1
+            widened[row, cursor : cursor + width] = sign
+        cursor += width
+    return SlackConversion(
+        matrix=widened,
+        bound=bound_arr,
+        num_original=n,
+        slack_ranges=tuple(ranges),
+    )

@@ -1,0 +1,100 @@
+"""Identical-machines job scheduling (JSP).
+
+Assign each job to exactly one machine, balancing load.  The makespan
+objective is min-max and therefore not linear; the standard
+binary-optimization surrogate (also used in QUBO formulations of
+identical-machines scheduling) is the sum of squared machine loads, which
+is minimised exactly when loads are balanced::
+
+    min  sum_m ( sum_j p_j * x_jm )^2
+    s.t. sum_m x_jm = 1     for every job j
+
+Variable layout: ``x_{j,m}`` in job-major order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+from repro.problems.base import ConstrainedBinaryProblem
+
+
+class JobSchedulingProblem(ConstrainedBinaryProblem):
+    """A load-balancing instance.
+
+    Args:
+        processing_times: length-``j`` job durations.
+        num_machines: number of identical machines.
+        name: instance name.
+    """
+
+    def __init__(
+        self,
+        processing_times: Sequence[float],
+        num_machines: int,
+        name: str = "jsp",
+    ) -> None:
+        self.processing_times = np.asarray(processing_times, dtype=np.float64)
+        if self.processing_times.ndim != 1 or self.processing_times.size == 0:
+            raise ProblemError("processing_times must be a non-empty vector")
+        if num_machines < 1:
+            raise ProblemError("need at least one machine")
+        self.num_jobs = int(self.processing_times.size)
+        self.num_machines = int(num_machines)
+
+        n = self.num_jobs * self.num_machines
+        matrix = np.zeros((self.num_jobs, n), dtype=np.int64)
+        bound = np.ones(self.num_jobs, dtype=np.int64)
+        for job in range(self.num_jobs):
+            for machine in range(self.num_machines):
+                matrix[job, self.x_index(job, machine)] = 1
+        super().__init__(name, matrix, bound, sense="min")
+
+    def x_index(self, job: int, machine: int) -> int:
+        """Index of the assignment variable ``x_{job,machine}``."""
+        return job * self.num_machines + machine
+
+    def machine_loads(self, x: np.ndarray) -> np.ndarray:
+        """Total processing time on each machine under assignment ``x``."""
+        arr = np.asarray(x, dtype=np.float64).reshape(
+            self.num_jobs, self.num_machines
+        )
+        return self.processing_times @ arr
+
+    def objective(self, x: np.ndarray) -> float:
+        loads = self.machine_loads(x)
+        return float((loads**2).sum())
+
+    def makespan(self, x: np.ndarray) -> float:
+        """Maximum machine load (reported for interpretability)."""
+        return float(self.machine_loads(x).max())
+
+    def initial_feasible_solution(self) -> np.ndarray:
+        """Greedy list scheduling (each job to the least-loaded machine).
+
+        ``O(j * m)``, matching the paper's linear-time claim for small
+        fixed machine counts.
+        """
+        solution = np.zeros(self.num_variables, dtype=np.int8)
+        loads = np.zeros(self.num_machines)
+        for job in range(self.num_jobs):
+            machine = int(np.argmin(loads))
+            solution[self.x_index(job, machine)] = 1
+            loads[machine] += self.processing_times[job]
+        return solution
+
+    @classmethod
+    def random(
+        cls,
+        num_jobs: int,
+        num_machines: int,
+        seed: Optional[int] = None,
+        name: str = "jsp",
+    ) -> "JobSchedulingProblem":
+        """Random durations in [1, 9]."""
+        rng = np.random.default_rng(seed)
+        times = rng.integers(1, 10, size=num_jobs)
+        return cls(times, num_machines, name=name)

@@ -1,0 +1,116 @@
+"""Balanced k-partition of a weighted graph (KPP).
+
+Assign each of ``e`` elements (graph nodes) to exactly one of ``k`` parts,
+with prescribed part sizes, minimising the total weight of edges cut::
+
+    min  sum_{(u,v) in E} w_uv * (1 - sum_p x_up * x_vp)
+    s.t. sum_p x_ep = 1          for every element e    (one-hot)
+         sum_e x_ep = size_p     for every part p       (balance)
+
+Variable layout: ``x_{e,p}`` in element-major order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import ProblemError
+from repro.problems.base import ConstrainedBinaryProblem
+
+
+class KPartitionProblem(ConstrainedBinaryProblem):
+    """A balanced graph-partitioning instance.
+
+    Args:
+        graph: weighted undirected graph on nodes ``0..e-1`` (edge weights
+            default to 1 when missing).
+        part_sizes: number of elements in each part; must sum to ``e``.
+        name: instance name.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        part_sizes: Sequence[int],
+        name: str = "kpp",
+    ) -> None:
+        self.graph = graph
+        self.part_sizes = tuple(int(s) for s in part_sizes)
+        e = graph.number_of_nodes()
+        k = len(self.part_sizes)
+        if sorted(graph.nodes) != list(range(e)):
+            raise ProblemError("graph nodes must be 0..e-1")
+        if sum(self.part_sizes) != e:
+            raise ProblemError("part sizes must sum to the number of elements")
+        self.num_elements = e
+        self.num_parts = k
+
+        n = e * k
+        m = e + k
+        matrix = np.zeros((m, n), dtype=np.int64)
+        bound = np.zeros(m, dtype=np.int64)
+        for element in range(e):
+            for part in range(k):
+                matrix[element, self.x_index(element, part)] = 1
+            bound[element] = 1
+        for part in range(k):
+            for element in range(e):
+                matrix[e + part, self.x_index(element, part)] = 1
+            bound[e + part] = self.part_sizes[part]
+        super().__init__(name, matrix, bound, sense="min")
+
+        self._edges: Tuple[Tuple[int, int, float], ...] = tuple(
+            (u, v, float(data.get("weight", 1.0)))
+            for u, v, data in graph.edges(data=True)
+        )
+
+    def x_index(self, element: int, part: int) -> int:
+        """Index of the assignment variable ``x_{element,part}``."""
+        return element * self.num_parts + part
+
+    def objective(self, x: np.ndarray) -> float:
+        arr = np.asarray(x, dtype=np.float64).reshape(
+            self.num_elements, self.num_parts
+        )
+        cut = 0.0
+        for u, v, weight in self._edges:
+            same_part = float(arr[u] @ arr[v])
+            cut += weight * (1.0 - same_part)
+        return cut
+
+    def initial_feasible_solution(self) -> np.ndarray:
+        """Fill parts to capacity in element order — ``O(e)`` time."""
+        solution = np.zeros(self.num_variables, dtype=np.int8)
+        part = 0
+        used = 0
+        for element in range(self.num_elements):
+            while used >= self.part_sizes[part]:
+                part += 1
+                used = 0
+            solution[self.x_index(element, part)] = 1
+            used += 1
+        return solution
+
+    @classmethod
+    def random(
+        cls,
+        num_elements: int,
+        num_parts: int,
+        seed: Optional[int] = None,
+        edge_probability: float = 0.6,
+        name: str = "kpp",
+    ) -> "KPartitionProblem":
+        """Random weighted graph with near-equal part sizes."""
+        rng = np.random.default_rng(seed)
+        graph = nx.Graph()
+        graph.add_nodes_from(range(num_elements))
+        for u in range(num_elements):
+            for v in range(u + 1, num_elements):
+                if rng.random() < edge_probability:
+                    graph.add_edge(u, v, weight=int(rng.integers(1, 5)))
+        base, extra = divmod(num_elements, num_parts)
+        sizes = [base + (1 if p < extra else 0) for p in range(num_parts)]
+        return cls(graph, sizes, name=name)

@@ -1,0 +1,148 @@
+"""The 20-benchmark registry (paper, Table 2).
+
+Four scales per application domain: F1–F4 (facility location), K1–K4
+(k-partition), J1–J4 (job scheduling), S1–S4 (set cover), G1–G4 (graph
+coloring).  The paper's exact instance sizes are not machine-readable from
+the source text; these scales match the qubit ranges the paper reports
+(single digits up to the high teens) while keeping exact ground truth
+(brute-force optimum) computable.  Each benchmark id is a *family*:
+``make_benchmark("F2", case=7)`` draws the 7th randomized case, mirroring
+the paper's "400 cases per benchmark" protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import networkx as nx
+
+from repro.exceptions import ProblemError
+from repro.problems.base import ConstrainedBinaryProblem
+from repro.problems.facility_location import FacilityLocationProblem
+from repro.problems.graph_coloring import GraphColoringProblem
+from repro.problems.job_scheduling import JobSchedulingProblem
+from repro.problems.k_partition import KPartitionProblem
+from repro.problems.set_cover import SetCoverProblem
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Description of one benchmark family."""
+
+    benchmark_id: str
+    domain: str
+    description: str
+    factory: Callable[[int, str], ConstrainedBinaryProblem]
+
+    def make(self, case: int = 0) -> ConstrainedBinaryProblem:
+        """Instantiate the ``case``-th randomized instance."""
+        return self.factory(case, f"{self.benchmark_id}-case{case}")
+
+
+def _flp(facilities: int, demands: int) -> Callable:
+    def build(seed: int, name: str) -> ConstrainedBinaryProblem:
+        return FacilityLocationProblem.random(facilities, demands, seed=seed, name=name)
+
+    return build
+
+
+def _kpp(elements: int, parts: int) -> Callable:
+    def build(seed: int, name: str) -> ConstrainedBinaryProblem:
+        return KPartitionProblem.random(elements, parts, seed=seed, name=name)
+
+    return build
+
+
+def _jsp(jobs: int, machines: int) -> Callable:
+    def build(seed: int, name: str) -> ConstrainedBinaryProblem:
+        return JobSchedulingProblem.random(jobs, machines, seed=seed, name=name)
+
+    return build
+
+
+def _scp(sets: int, elements: int) -> Callable:
+    def build(seed: int, name: str) -> ConstrainedBinaryProblem:
+        return SetCoverProblem.random(sets, elements, seed=seed, name=name)
+
+    return build
+
+
+def _gcp(topology: str, colors: int) -> Callable:
+    def build(seed: int, name: str) -> ConstrainedBinaryProblem:
+        graph = _GCP_TOPOLOGIES[topology]()
+        return GraphColoringProblem.random(graph, colors, seed=seed, name=name)
+
+    return build
+
+
+_GCP_TOPOLOGIES: Dict[str, Callable[[], nx.Graph]] = {
+    "path3": lambda: nx.path_graph(3),
+    "star3": lambda: nx.star_graph(3),  # one hub + 3 leaves
+    "path4": lambda: nx.path_graph(4),
+    "cycle4": lambda: nx.cycle_graph(4),
+}
+
+
+_SPECS: Dict[str, BenchmarkSpec] = {}
+
+
+def _register(benchmark_id: str, domain: str, description: str, factory: Callable) -> None:
+    _SPECS[benchmark_id] = BenchmarkSpec(benchmark_id, domain, description, factory)
+
+
+# Facility location: (facilities, demands).
+_register("F1", "flp", "2 facilities, 1 demand (6 qubits)", _flp(2, 1))
+_register("F2", "flp", "2 facilities, 2 demands (10 qubits)", _flp(2, 2))
+_register("F3", "flp", "2 facilities, 3 demands (14 qubits)", _flp(2, 3))
+_register("F4", "flp", "3 facilities, 2 demands (15 qubits)", _flp(3, 2))
+
+# K-partition: (elements, parts).
+_register("K1", "kpp", "3 elements, 2 parts (6 qubits)", _kpp(3, 2))
+_register("K2", "kpp", "4 elements, 2 parts (8 qubits)", _kpp(4, 2))
+_register("K3", "kpp", "4 elements, 3 parts (12 qubits)", _kpp(4, 3))
+_register("K4", "kpp", "5 elements, 3 parts (15 qubits)", _kpp(5, 3))
+
+# Job scheduling: (jobs, machines).
+_register("J1", "jsp", "3 jobs, 2 machines (6 qubits)", _jsp(3, 2))
+_register("J2", "jsp", "4 jobs, 2 machines (8 qubits)", _jsp(4, 2))
+_register("J3", "jsp", "4 jobs, 3 machines (12 qubits)", _jsp(4, 3))
+_register("J4", "jsp", "5 jobs, 3 machines (15 qubits)", _jsp(5, 3))
+
+# Set cover: (sets, elements); slack bits push qubits above the set count.
+_register("S1", "scp", "4 sets, 3 elements", _scp(4, 3))
+_register("S2", "scp", "5 sets, 4 elements", _scp(5, 4))
+_register("S3", "scp", "6 sets, 4 elements", _scp(6, 4))
+_register("S4", "scp", "7 sets, 5 elements", _scp(7, 5))
+
+# Graph coloring: (topology, colors).
+_register("G1", "gcp", "path P3, 2 colors (10 qubits)", _gcp("path3", 2))
+_register("G2", "gcp", "star K1,3, 2 colors (14 qubits)", _gcp("star3", 2))
+_register("G3", "gcp", "path P3, 3 colors (15 qubits)", _gcp("path3", 3))
+_register("G4", "gcp", "cycle C4, 2 colors (16 qubits)", _gcp("cycle4", 2))
+
+#: All benchmark ids, in Table 2 order.
+BENCHMARK_IDS: Tuple[str, ...] = tuple(_SPECS)
+
+
+def benchmark_spec(benchmark_id: str) -> BenchmarkSpec:
+    """Look up a benchmark family by id (e.g. ``"F1"``)."""
+    try:
+        return _SPECS[benchmark_id]
+    except KeyError:
+        raise ProblemError(
+            f"unknown benchmark {benchmark_id!r}; known: {sorted(_SPECS)}"
+        ) from None
+
+
+def make_benchmark(benchmark_id: str, case: int = 0) -> ConstrainedBinaryProblem:
+    """Instantiate one randomized case of a benchmark family."""
+    return benchmark_spec(benchmark_id).make(case)
+
+
+def benchmark_suite(cases: int = 1) -> Dict[str, Tuple[ConstrainedBinaryProblem, ...]]:
+    """Instantiate ``cases`` instances of every benchmark family."""
+    return {
+        benchmark_id: tuple(spec.make(case) for case in range(cases))
+        for benchmark_id, spec in _SPECS.items()
+    }

@@ -1,0 +1,125 @@
+"""Weighted set cover (SCP).
+
+Choose a minimum-cost family of sets covering every element of a universe::
+
+    min  sum_s cost_s * x_s
+    s.t. sum_{s : e in s} x_s >= 1      for every element e
+
+Each covering inequality becomes an equality with unit slack bits: if
+element ``e`` appears in ``cov_e`` sets, the row reads
+``sum_{s ∋ e} x_s - sum_{t=1..cov_e-1} z_{e,t} = 1`` — using ``cov_e - 1``
+unit slacks keeps every matrix entry in {-1, 0, 1} (a single weighted slack
+would not).
+
+Variable layout: ``[x_0..x_{s-1}]`` then slack bits grouped by element.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+from repro.problems.base import ConstrainedBinaryProblem
+
+
+class SetCoverProblem(ConstrainedBinaryProblem):
+    """A weighted set-cover instance.
+
+    Args:
+        subsets: the available sets, each a collection of element ids
+            ``0..e-1``.
+        costs: length-``s`` set costs.
+        num_elements: universe size ``e``.
+        name: instance name.
+    """
+
+    def __init__(
+        self,
+        subsets: Sequence[Set[int]],
+        costs: Sequence[float],
+        num_elements: int,
+        name: str = "scp",
+    ) -> None:
+        self.subsets: Tuple[frozenset, ...] = tuple(frozenset(s) for s in subsets)
+        self.costs = np.asarray(costs, dtype=np.float64)
+        self.num_sets = len(self.subsets)
+        self.num_elements = int(num_elements)
+        if self.costs.shape != (self.num_sets,):
+            raise ProblemError("costs length must equal number of sets")
+        coverage = [
+            [s for s in range(self.num_sets) if element in self.subsets[s]]
+            for element in range(self.num_elements)
+        ]
+        for element, covering in enumerate(coverage):
+            if not covering:
+                raise ProblemError(f"element {element} is covered by no set")
+
+        # Slack layout: element e owns cov_e - 1 slack bits.
+        self._slack_offsets: List[int] = []
+        offset = self.num_sets
+        for covering in coverage:
+            self._slack_offsets.append(offset)
+            offset += len(covering) - 1
+        n = offset
+        matrix = np.zeros((self.num_elements, n), dtype=np.int64)
+        bound = np.ones(self.num_elements, dtype=np.int64)
+        for element, covering in enumerate(coverage):
+            for s in covering:
+                matrix[element, s] = 1
+            start = self._slack_offsets[element]
+            for t in range(len(covering) - 1):
+                matrix[element, start + t] = -1
+        super().__init__(name, matrix, bound, sense="min")
+        self._coverage = coverage
+
+    def x_index(self, subset: int) -> int:
+        """Index of the selection variable of ``subset``."""
+        return subset
+
+    def slack_indices(self, element: int) -> range:
+        """Indices of the slack bits belonging to ``element``'s row."""
+        start = self._slack_offsets[element]
+        return range(start, start + len(self._coverage[element]) - 1)
+
+    def objective(self, x: np.ndarray) -> float:
+        arr = np.asarray(x, dtype=np.float64)
+        return float(self.costs @ arr[: self.num_sets])
+
+    def initial_feasible_solution(self) -> np.ndarray:
+        """Select every set — ``O(s)`` time (paper, Section 5.1).
+
+        Every element is then covered ``cov_e`` times, so all its
+        ``cov_e - 1`` slack bits are 1.
+        """
+        solution = np.ones(self.num_variables, dtype=np.int8)
+        return solution
+
+    @classmethod
+    def random(
+        cls,
+        num_sets: int,
+        num_elements: int,
+        seed: Optional[int] = None,
+        name: str = "scp",
+    ) -> "SetCoverProblem":
+        """Random instance where every element is covered 2+ times.
+
+        Coverage multiplicity is what gives SCP its large feasible space
+        (the paper's S4 has the most feasible solutions of all benchmarks).
+        """
+        rng = np.random.default_rng(seed)
+        subsets: List[Set[int]] = [set() for _ in range(num_sets)]
+        for element in range(num_elements):
+            cover_count = int(rng.integers(2, min(num_sets, 4) + 1))
+            chosen = rng.choice(num_sets, size=cover_count, replace=False)
+            for s in chosen:
+                subsets[int(s)].add(element)
+        # Ensure no set is empty (an empty set is never useful but keeps
+        # the variable count as requested).
+        for s, subset in enumerate(subsets):
+            if not subset:
+                subset.add(int(rng.integers(0, num_elements)))
+        costs = rng.integers(1, 8, size=num_sets)
+        return cls(subsets, costs, num_elements, name=name)

@@ -1,0 +1,134 @@
+"""Exact density-matrix simulation for small systems.
+
+Used as ground truth: tests compare the trajectory backend's sampled
+statistics against exact channel evolution.  Cost is ``O(4**n)`` memory, so
+this simulator enforces a small qubit limit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Instruction, gate_category, single_qubit_matrix
+from repro.exceptions import SimulationError
+from repro.linalg.bitvec import bits_to_int
+from repro.simulators.noise import KrausChannel, NoiseModel
+from repro.simulators.statevector import apply_controlled, apply_single_qubit
+
+#: Hard qubit limit; 4**10 complex entries is ~16 MiB.
+MAX_QUBITS = 10
+
+
+class DensityMatrixSimulator:
+    """Evolve a density matrix through a circuit with exact noise channels."""
+
+    def __init__(self, noise_model: Optional[NoiseModel] = None) -> None:
+        self.noise_model = noise_model
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        initial_bits: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Return the final density matrix.
+
+        Gates are applied as ``rho -> U rho U^dag`` by acting with ``U`` on
+        the row index (a statevector update over the flattened matrix) and
+        ``U*`` on the column index.
+        """
+        n = circuit.num_qubits
+        if n > MAX_QUBITS:
+            raise SimulationError(
+                f"density-matrix simulation limited to {MAX_QUBITS} qubits"
+            )
+        dim = 1 << n
+        rho = np.zeros((dim, dim), dtype=np.complex128)
+        start = bits_to_int(initial_bits) if initial_bits is not None else 0
+        rho[start, start] = 1.0
+        for instr in circuit:
+            rho = self._apply(rho, instr, n)
+        return rho
+
+    def probabilities(
+        self,
+        circuit: QuantumCircuit,
+        initial_bits: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Diagonal of the final density matrix (readout error excluded)."""
+        rho = self.run(circuit, initial_bits=initial_bits)
+        return np.real(np.diag(rho)).clip(min=0.0)
+
+    # ------------------------------------------------------------------
+    def _apply(self, rho: np.ndarray, instr: Instruction, n: int) -> np.ndarray:
+        if instr.name in ("barrier", "measure"):
+            return rho
+        if instr.name == "reset":
+            raise SimulationError("reset is not supported")
+        rho = _unitary_on_rho(rho, instr, n)
+        if self.noise_model is not None and instr.is_unitary:
+            width = 1 if gate_category(instr) == "1q" else 2
+            for channel in self.noise_model.channels_for(width):
+                for qubit in instr.qubits:
+                    rho = apply_channel(rho, channel, qubit, n)
+        return rho
+
+
+def _unitary_on_rho(rho: np.ndarray, instr: Instruction, n: int) -> np.ndarray:
+    """``rho -> U rho U^dag`` using the statevector kernels column-wise."""
+    dim = rho.shape[0]
+    # U rho: apply U to each column.
+    out = np.empty_like(rho)
+    for col in range(dim):
+        vec = rho[:, col].copy()
+        _apply_vec(vec, instr, n, conjugate=False)
+        out[:, col] = vec
+    # (U rho) U^dag: apply U* to each row, i.e. to columns of the transpose.
+    result = np.empty_like(out)
+    for row in range(dim):
+        vec = out[row, :].copy()
+        _apply_vec(vec, instr, n, conjugate=True)
+        result[row, :] = vec
+    return result
+
+
+def _apply_vec(vec: np.ndarray, instr: Instruction, n: int, conjugate: bool) -> None:
+    if instr.name == "swap":
+        a, b = instr.qubits
+        indices = np.arange(vec.shape[0])
+        swapped = indices ^ (((indices >> a) & 1) != ((indices >> b) & 1)) * (
+            (1 << a) | (1 << b)
+        )
+        vec[:] = vec[swapped]
+        return
+    base = single_qubit_matrix(instr.base_name, instr.params)
+    if conjugate:
+        base = base.conj()
+    if instr.num_controls == 0:
+        apply_single_qubit(vec, base, instr.qubits[0], n)
+    else:
+        apply_controlled(
+            vec, base, instr.controls, instr.control_pattern, instr.target, n
+        )
+
+
+def apply_channel(
+    rho: np.ndarray, channel: KrausChannel, qubit: int, n: int
+) -> np.ndarray:
+    """``rho -> sum_i K_i rho K_i^dag`` on one qubit."""
+    dim = rho.shape[0]
+    result = np.zeros_like(rho)
+    for op in channel.operators:
+        term = np.empty_like(rho)
+        for col in range(dim):
+            vec = rho[:, col].copy()
+            apply_single_qubit(vec, op, qubit, n)
+            term[:, col] = vec
+        for row in range(dim):
+            vec = term[row, :].copy()
+            apply_single_qubit(vec, op.conj(), qubit, n)
+            term[row, :] = vec
+        result += term
+    return result

@@ -1,0 +1,199 @@
+"""Kraus channels and per-gate noise models.
+
+The paper evaluates Rasengan under depolarizing (Pauli) noise, amplitude
+damping, and phase damping calibrated from IBM devices (Section 5.5), and
+on two real machines whose dominant figure of merit is the two-qubit gate
+error rate (Section 5.4).  This module provides those channels plus a
+:class:`NoiseModel` that attaches channels to gate categories and readout.
+
+Channels are used in two ways:
+
+* exactly, by :class:`repro.simulators.density.DensityMatrixSimulator`;
+* stochastically, by the trajectory backend, which samples one Kraus
+  operator per application with probability ``||K_i |psi>||^2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+PAULIS = {"I": _I, "X": _X, "Y": _Y, "Z": _Z}
+
+
+@dataclass(frozen=True)
+class KrausChannel:
+    """A completely-positive trace-preserving map on one qubit.
+
+    Attributes:
+        name: human-readable channel name.
+        operators: tuple of 2x2 Kraus matrices satisfying
+            ``sum(K^dag K) = I``.
+        unitary_mixture: when every Kraus operator is proportional to a
+            unitary, ``(probabilities, unitaries)`` allowing state-independent
+            sampling (used for Pauli channels).
+    """
+
+    name: str
+    operators: Tuple[np.ndarray, ...]
+    unitary_mixture: Optional[Tuple[Tuple[float, ...], Tuple[np.ndarray, ...]]] = None
+
+    def __post_init__(self) -> None:
+        total = sum(op.conj().T @ op for op in self.operators)
+        if not np.allclose(total, np.eye(2), atol=1e-9):
+            raise SimulationError(
+                f"channel {self.name!r} is not trace preserving"
+            )
+
+    @property
+    def is_unitary_mixture(self) -> bool:
+        return self.unitary_mixture is not None
+
+
+def depolarizing(probability: float) -> KrausChannel:
+    """Single-qubit depolarizing channel with error probability ``p``.
+
+    With probability ``p`` one of X, Y, Z is applied uniformly (the common
+    device-calibration convention for a "gate error rate").
+    """
+    _check_probability(probability)
+    p = probability
+    ops = (
+        math.sqrt(1 - p) * _I,
+        math.sqrt(p / 3) * _X,
+        math.sqrt(p / 3) * _Y,
+        math.sqrt(p / 3) * _Z,
+    )
+    mixture = ((1 - p, p / 3, p / 3, p / 3), (_I, _X, _Y, _Z))
+    return KrausChannel("depolarizing", ops, mixture)
+
+
+def pauli_channel(px: float, py: float, pz: float) -> KrausChannel:
+    """General Pauli channel with independent X/Y/Z probabilities."""
+    for p in (px, py, pz):
+        _check_probability(p)
+    p_id = 1.0 - px - py - pz
+    if p_id < -1e-12:
+        raise SimulationError("Pauli probabilities exceed 1")
+    p_id = max(p_id, 0.0)
+    ops = (
+        math.sqrt(p_id) * _I,
+        math.sqrt(px) * _X,
+        math.sqrt(py) * _Y,
+        math.sqrt(pz) * _Z,
+    )
+    mixture = ((p_id, px, py, pz), (_I, _X, _Y, _Z))
+    return KrausChannel("pauli", ops, mixture)
+
+
+def bit_flip(probability: float) -> KrausChannel:
+    """X error with probability ``p``."""
+    _check_probability(probability)
+    ops = (
+        math.sqrt(1 - probability) * _I,
+        math.sqrt(probability) * _X,
+    )
+    mixture = ((1 - probability, probability), (_I, _X))
+    return KrausChannel("bit_flip", ops, mixture)
+
+
+def amplitude_damping(gamma: float) -> KrausChannel:
+    """T1 relaxation toward ``|0>`` with damping probability ``gamma``."""
+    _check_probability(gamma)
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=complex)
+    return KrausChannel("amplitude_damping", (k0, k1))
+
+
+def phase_damping(lam: float) -> KrausChannel:
+    """Pure dephasing with probability ``lam``."""
+    _check_probability(lam)
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - lam)]], dtype=complex)
+    k1 = np.array([[0, 0], [0, math.sqrt(lam)]], dtype=complex)
+    return KrausChannel("phase_damping", (k0, k1))
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise SimulationError(f"probability {p} outside [0, 1]")
+
+
+@dataclass
+class NoiseModel:
+    """Per-gate-category noise specification.
+
+    Channels listed under ``single_qubit`` are applied to the qubit of every
+    one-qubit gate; those under ``two_qubit`` to *both* qubits of every
+    two-qubit gate (the usual calibration-data approximation).  Readout
+    error flips each measured bit independently.
+
+    Attributes:
+        single_qubit: channels after each single-qubit gate.
+        two_qubit: channels after each two-qubit gate, per involved qubit.
+        readout_p01: probability of reading 1 when the qubit is 0.
+        readout_p10: probability of reading 0 when the qubit is 1.
+    """
+
+    single_qubit: List[KrausChannel] = field(default_factory=list)
+    two_qubit: List[KrausChannel] = field(default_factory=list)
+    readout_p01: float = 0.0
+    readout_p10: float = 0.0
+
+    def channels_for(self, num_gate_qubits: int) -> List[KrausChannel]:
+        """Channels to apply per qubit for a gate of the given width.
+
+        Gates wider than two qubits are charged two-qubit noise; noisy
+        backends are expected to run *decomposed* circuits, so this is a
+        safety net rather than the normal path.
+        """
+        if num_gate_qubits <= 1:
+            return self.single_qubit
+        return self.two_qubit
+
+    @property
+    def has_readout_error(self) -> bool:
+        return self.readout_p01 > 0 or self.readout_p10 > 0
+
+    @classmethod
+    def from_error_rates(
+        cls,
+        *,
+        single_qubit_error: float = 0.0,
+        two_qubit_error: float = 0.0,
+        amplitude_damping_prob: float = 0.0,
+        phase_damping_prob: float = 0.0,
+        readout_error: float = 0.0,
+    ) -> "NoiseModel":
+        """Build the paper's composite model (Section 5.5).
+
+        Depolarizing noise at the gate error rate, with optional amplitude
+        and phase damping as fixed background on every gate.
+        """
+        single: List[KrausChannel] = []
+        double: List[KrausChannel] = []
+        if single_qubit_error > 0:
+            single.append(depolarizing(single_qubit_error))
+        if two_qubit_error > 0:
+            double.append(depolarizing(two_qubit_error))
+        for prob, factory in (
+            (amplitude_damping_prob, amplitude_damping),
+            (phase_damping_prob, phase_damping),
+        ):
+            if prob > 0:
+                single.append(factory(prob))
+                double.append(factory(prob))
+        return cls(
+            single_qubit=single,
+            two_qubit=double,
+            readout_p01=readout_error,
+            readout_p10=readout_error,
+        )

@@ -1,0 +1,167 @@
+"""Pauli-string observables and expectation values.
+
+Provides the observable layer a variational stack needs: sparse Pauli
+strings, their expectation against statevectors or measured counts (for
+Z-type strings), and the QUBO -> Ising conversion that underlies the
+penalty methods' objective Hamiltonians.
+
+Conventions: a Pauli string is a mapping ``{qubit: 'X'|'Y'|'Z'}`` with
+identity elsewhere, plus a real/complex coefficient.  Little-endian qubit
+indexing throughout, like the rest of the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+_PAULI_MATRICES = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+@dataclass(frozen=True)
+class PauliString:
+    """One weighted Pauli product, e.g. ``0.5 * Z0 Z2``.
+
+    Attributes:
+        paulis: mapping qubit -> 'X'/'Y'/'Z' (identity where absent).
+        coefficient: real or complex weight.
+    """
+
+    paulis: Tuple[Tuple[int, str], ...]
+    coefficient: complex = 1.0
+
+    @classmethod
+    def from_dict(
+        cls, paulis: Mapping[int, str], coefficient: complex = 1.0
+    ) -> "PauliString":
+        for qubit, label in paulis.items():
+            if label not in ("X", "Y", "Z"):
+                raise SimulationError(f"unknown Pauli label {label!r}")
+            if qubit < 0:
+                raise SimulationError("negative qubit index")
+        return cls(tuple(sorted(paulis.items())), coefficient)
+
+    @property
+    def is_diagonal(self) -> bool:
+        """True when the string contains only Z factors."""
+        return all(label == "Z" for _, label in self.paulis)
+
+    def min_qubits(self) -> int:
+        return 1 + max((q for q, _ in self.paulis), default=-1)
+
+    # ------------------------------------------------------------------
+    def expectation(self, state: np.ndarray, num_qubits: int) -> complex:
+        """``<state| P |state>`` for a dense statevector."""
+        if state.shape != (1 << num_qubits,):
+            raise SimulationError("state length does not match num_qubits")
+        transformed = self.apply(state, num_qubits)
+        return complex(np.vdot(state, transformed)) * self.coefficient
+
+    def apply(self, state: np.ndarray, num_qubits: int) -> np.ndarray:
+        """``P |state>`` with unit coefficient (coefficient applied by
+        :meth:`expectation`)."""
+        from repro.simulators.statevector import apply_single_qubit
+
+        result = state.copy()
+        for qubit, label in self.paulis:
+            if qubit >= num_qubits:
+                raise SimulationError(
+                    f"Pauli on qubit {qubit} outside {num_qubits}-qubit register"
+                )
+            apply_single_qubit(result, _PAULI_MATRICES[label], qubit, num_qubits)
+        return result
+
+    def expectation_from_counts(self, counts: Mapping[int, int]) -> float:
+        """Expectation from measured bitstrings (diagonal strings only)."""
+        if not self.is_diagonal:
+            raise SimulationError(
+                "only Z-type strings have an expectation over Z-basis counts"
+            )
+        total = sum(counts.values())
+        if total == 0:
+            raise SimulationError("empty counts")
+        acc = 0.0
+        for key, count in counts.items():
+            parity = 1.0
+            for qubit, _ in self.paulis:
+                if (key >> qubit) & 1:
+                    parity = -parity
+            acc += parity * count
+        return float(self.coefficient.real) * acc / total
+
+    def to_matrix(self, num_qubits: int) -> np.ndarray:
+        """Dense matrix (verification only)."""
+        labels = ["I"] * num_qubits
+        for qubit, label in self.paulis:
+            labels[qubit] = label
+        matrix = np.array([[1.0 + 0j]])
+        for label in labels:  # qubit 0 least significant -> kron from left
+            matrix = np.kron(_PAULI_MATRICES[label], matrix)
+        return self.coefficient * matrix
+
+
+@dataclass
+class PauliSum:
+    """A weighted sum of Pauli strings (an observable/Hamiltonian)."""
+
+    terms: List[PauliString] = field(default_factory=list)
+
+    def add(self, paulis: Mapping[int, str], coefficient: complex) -> None:
+        self.terms.append(PauliString.from_dict(paulis, coefficient))
+
+    def expectation(self, state: np.ndarray, num_qubits: int) -> complex:
+        return sum(
+            (term.expectation(state, num_qubits) for term in self.terms),
+            start=0.0 + 0.0j,
+        )
+
+    def to_matrix(self, num_qubits: int) -> np.ndarray:
+        dim = 1 << num_qubits
+        matrix = np.zeros((dim, dim), dtype=complex)
+        for term in self.terms:
+            matrix += term.to_matrix(num_qubits)
+        return matrix
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.terms)
+
+
+def ising_from_qubo(
+    constant: float,
+    linear: np.ndarray,
+    quadratic: Mapping[Tuple[int, int], float],
+) -> Tuple[float, PauliSum]:
+    """Convert QUBO coefficients into an Ising Pauli sum.
+
+    Substituting ``x_i = (1 - Z_i) / 2`` gives
+    ``E = offset + sum h_i Z_i + sum J_ij Z_i Z_j``.
+
+    Returns:
+        ``(offset, observable)`` such that the observable's expectation on
+        a computational basis state plus the offset equals the QUBO energy
+        of the corresponding bitstring.
+    """
+    linear = np.asarray(linear, dtype=float)
+    n = linear.size
+    offset = float(constant) + float(linear.sum()) / 2.0
+    fields = -linear / 2.0
+    observable = PauliSum()
+    for (i, j), coupling in quadratic.items():
+        offset += coupling / 4.0
+        fields[i] -= coupling / 4.0
+        fields[j] -= coupling / 4.0
+        observable.add({i: "Z", j: "Z"}, coupling / 4.0)
+    for qubit in range(n):
+        if abs(fields[qubit]) > 1e-12:
+            observable.add({qubit: "Z"}, fields[qubit])
+    return offset, observable

@@ -1,0 +1,86 @@
+"""Measurement sampling utilities.
+
+Counts are dictionaries ``{basis index: occurrences}`` using the library's
+little-endian integer encoding.  Helpers convert statevector probabilities
+into shot counts and model classical readout error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+
+def counts_from_probabilities(
+    probabilities: np.ndarray | Mapping[int, float],
+    shots: int,
+    rng: np.random.Generator,
+) -> Dict[int, int]:
+    """Sample ``shots`` outcomes from a probability distribution.
+
+    Args:
+        probabilities: dense array over all basis states, or a sparse
+            mapping over occupied ones.
+        shots: number of samples.
+        rng: random generator (callers own seeding for reproducibility).
+
+    Returns:
+        ``{basis index: count}`` with only observed outcomes present.
+    """
+    if shots < 0:
+        raise ValueError("shots must be non-negative")
+    if shots == 0:
+        return {}
+    if isinstance(probabilities, Mapping):
+        keys = np.fromiter(probabilities.keys(), dtype=np.int64)
+        probs = np.fromiter(probabilities.values(), dtype=np.float64)
+    else:
+        probs = np.asarray(probabilities, dtype=np.float64)
+        keys = np.arange(probs.shape[0], dtype=np.int64)
+    probs = probs.clip(min=0.0)
+    total = probs.sum()
+    if total <= 0:
+        raise ValueError("probability mass is zero")
+    probs = probs / total
+    draws = rng.multinomial(shots, probs)
+    return {int(key): int(count) for key, count in zip(keys, draws) if count}
+
+
+def apply_readout_error(
+    counts: Dict[int, int],
+    num_qubits: int,
+    p01: float,
+    p10: float,
+    rng: np.random.Generator,
+) -> Dict[int, int]:
+    """Flip measured bits independently with asymmetric probabilities.
+
+    Args:
+        counts: ideal counts.
+        num_qubits: register width.
+        p01: probability that a 0 is read as 1.
+        p10: probability that a 1 is read as 0.
+        rng: random generator.
+    """
+    if p01 == 0 and p10 == 0:
+        return dict(counts)
+    noisy: Dict[int, int] = {}
+    for key, count in counts.items():
+        for _ in range(count):
+            value = key
+            for qubit in range(num_qubits):
+                bit = (value >> qubit) & 1
+                flip_probability = p10 if bit else p01
+                if flip_probability and rng.random() < flip_probability:
+                    value ^= 1 << qubit
+            noisy[value] = noisy.get(value, 0) + 1
+    return noisy
+
+
+def probabilities_from_counts(counts: Mapping[int, int]) -> Dict[int, float]:
+    """Normalise counts into an empirical distribution."""
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {key: count / total for key, count in counts.items()}

@@ -1,0 +1,97 @@
+"""Penalty/QUBO encoding correctness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.encoding import PenaltyEncoding, qubo_coefficients
+from repro.linalg.bitvec import all_bitvectors
+from repro.problems import make_benchmark
+from repro.simulators.statevector import simulate_statevector
+
+
+class TestQuboCoefficients:
+    @pytest.mark.parametrize("benchmark_id", ["F1", "K1", "J1", "S1"])
+    def test_reconstructs_energy_exactly(self, benchmark_id):
+        problem = make_benchmark(benchmark_id, 0)
+        penalty = 25.0
+        constant, linear, quadratic = qubo_coefficients(problem, penalty)
+        bits = all_bitvectors(problem.num_variables).astype(np.int64)
+        for row in bits[:: max(1, len(bits) // 64)]:
+            direct = problem.penalty_value(row, 0.0) + penalty * float(
+                (problem.constraint_matrix @ row - problem.bound) ** 2 @ np.ones(
+                    problem.num_constraints
+                )
+            )
+            reconstructed = constant + float(linear @ row)
+            for (i, j), coupling in quadratic.items():
+                reconstructed += coupling * row[i] * row[j]
+            assert reconstructed == pytest.approx(direct, abs=1e-8)
+
+    def test_linear_objective_has_no_objective_couplings(self):
+        # FLP objective is linear; all couplings come from the penalty.
+        problem = make_benchmark("F1", 0)
+        _, _, with_penalty = qubo_coefficients(problem, 10.0)
+        _, _, without = qubo_coefficients(problem, 0.0)
+        assert len(without) == 0
+        assert len(with_penalty) > 0
+
+    def test_quadratic_objective_detected(self):
+        # JSP objective is quadratic even with zero penalty.
+        problem = make_benchmark("J1", 0)
+        _, _, quadratic = qubo_coefficients(problem, 0.0)
+        assert len(quadratic) > 0
+
+
+class TestPenaltyEncoding:
+    def test_energies_match_penalty_value(self):
+        problem = make_benchmark("K1", 0)
+        encoding = PenaltyEncoding(problem, penalty=30.0)
+        energies = encoding.energies
+        bits = all_bitvectors(problem.num_variables)
+        for key in (0, 5, 17, 63):
+            expected = problem.value(bits[key]) + 30.0 * float(
+                ((problem.constraint_matrix @ bits[key].astype(np.int64)
+                  - problem.bound) ** 2).sum()
+            )
+            assert energies[key] == pytest.approx(expected)
+
+    def test_feasible_states_have_lowest_penalty_band(self):
+        problem = make_benchmark("F1", 0)
+        encoding = PenaltyEncoding(problem, penalty=100.0)
+        feasible = set(problem.feasible_keys())
+        energies = encoding.energies
+        worst_feasible = max(energies[k] for k in feasible)
+        best_infeasible = min(
+            energies[k] for k in range(len(energies)) if k not in feasible
+        )
+        assert worst_feasible < best_infeasible
+
+    def test_variable_degrees(self):
+        problem = make_benchmark("F1", 0)
+        encoding = PenaltyEncoding(problem, penalty=10.0)
+        degrees = encoding.variable_degrees()
+        assert degrees.shape == (problem.num_variables,)
+        assert degrees.sum() == 2 * len(encoding.coupling_pairs)
+
+    def test_phase_separation_circuit_is_diagonal_and_correct(self):
+        problem = make_benchmark("K1", 0)
+        encoding = PenaltyEncoding(problem, penalty=7.0)
+        gamma = 0.23
+        circuit = encoding.phase_separation_circuit(gamma)
+        n = problem.num_variables
+        # Compare phases on an equal superposition against exp(-i g E).
+        state = np.full(1 << n, 1 / np.sqrt(1 << n), dtype=complex)
+        from repro.simulators.statevector import StatevectorSimulator
+
+        out = StatevectorSimulator().run(circuit, initial_state=state)
+        expected = state * np.exp(-1j * gamma * encoding.energies)
+        # Equal up to a single global phase.
+        ratio = out / expected
+        np.testing.assert_allclose(ratio, ratio[0], atol=1e-8)
+
+    def test_phase_separation_two_qubit_count(self):
+        problem = make_benchmark("F1", 0)
+        encoding = PenaltyEncoding(problem, penalty=10.0)
+        circuit = encoding.phase_separation_circuit(0.1)
+        cx_count = sum(1 for instr in circuit if instr.name == "cx")
+        assert cx_count == 2 * len(encoding.coupling_pairs)

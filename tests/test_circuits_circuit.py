@@ -1,0 +1,112 @@
+"""QuantumCircuit container behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Instruction
+from repro.exceptions import CircuitError
+
+
+class TestConstruction:
+    def test_negative_width_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(-1)
+
+    def test_out_of_range_qubit_rejected(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            qc.x(2)
+
+    def test_len_and_iter(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        assert len(qc) == 2
+        assert [instr.name for instr in qc] == ["h", "cx"]
+
+    def test_getitem(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.5, 0)
+        assert qc[0].params == (0.5,)
+
+    def test_repr(self):
+        qc = QuantumCircuit(3, name="bell")
+        assert "bell" in repr(qc)
+
+
+class TestBuilders:
+    def test_all_single_qubit_builders(self):
+        qc = QuantumCircuit(1)
+        qc.x(0); qc.y(0); qc.z(0); qc.h(0); qc.s(0); qc.sdg(0); qc.sx(0)
+        qc.rx(0.1, 0); qc.ry(0.2, 0); qc.rz(0.3, 0); qc.p(0.4, 0)
+        qc.u(0.1, 0.2, 0.3, 0)
+        assert len(qc) == 12
+
+    def test_controlled_builders(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 1); qc.cz(0, 1); qc.cp(0.1, 0, 1); qc.crx(0.2, 0, 1)
+        qc.swap(0, 1); qc.ccx(0, 1, 2)
+        qc.mcx([0, 1, 2], 3)
+        qc.mcp(0.3, [0, 1], 2)
+        qc.mcrx(0.4, [0, 1], 2, ctrl_state=(1, 0))
+        assert len(qc) == 9
+        assert qc[8].ctrl_state == (1, 0)
+
+    def test_params_coerced_to_float(self):
+        qc = QuantumCircuit(1)
+        qc.rx(1, 0)
+        assert isinstance(qc[0].params[0], float)
+
+    def test_measure_all(self):
+        qc = QuantumCircuit(3)
+        qc.measure_all()
+        assert len(qc) == 3
+        assert all(instr.name == "measure" for instr in qc)
+
+
+class TestCompose:
+    def test_compose_appends(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(2)
+        b.cx(0, 1)
+        a.compose(b)
+        assert [instr.name for instr in a] == ["h", "cx"]
+
+    def test_compose_width_check(self):
+        a = QuantumCircuit(1)
+        b = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            a.compose(b)
+
+    def test_copy_is_independent(self):
+        a = QuantumCircuit(1)
+        a.x(0)
+        b = a.copy()
+        b.x(0)
+        assert len(a) == 1
+        assert len(b) == 2
+
+
+class TestPrepareBitstring:
+    def test_applies_x_on_ones(self):
+        qc = QuantumCircuit(4)
+        qc.prepare_bitstring([1, 0, 1, 0])
+        targets = [instr.qubits[0] for instr in qc]
+        assert targets == [0, 2]
+
+    def test_length_mismatch(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            qc.prepare_bitstring([1, 0, 1])
+
+
+class TestParameterCount:
+    def test_counts_rotations_only(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.rx(0.1, 0)
+        qc.mcrx(0.2, [0], 1)
+        qc.cx(0, 1)
+        assert qc.num_parameters_like() == 2

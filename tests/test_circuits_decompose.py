@@ -1,0 +1,134 @@
+"""Decomposition correctness: every rewrite preserves the unitary."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.decompose import (
+    NATIVE_AFTER_DECOMPOSITION,
+    decompose_circuit,
+    decompose_instruction,
+)
+from repro.circuits.gates import Instruction
+from repro.simulators.statevector import StatevectorSimulator
+
+ANGLES = st.floats(min_value=-math.pi, max_value=math.pi, allow_nan=False)
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Column-by-column unitary extraction through the simulator."""
+    sim = StatevectorSimulator()
+    dim = 1 << circuit.num_qubits
+    columns = []
+    for basis in range(dim):
+        state = np.zeros(dim, dtype=complex)
+        state[basis] = 1.0
+        columns.append(sim.run(circuit, initial_state=state))
+    return np.array(columns).T
+
+
+def assert_same_unitary(circuit: QuantumCircuit):
+    expected = circuit_unitary(circuit)
+    actual = circuit_unitary(decompose_circuit(circuit))
+    np.testing.assert_allclose(actual, expected, atol=1e-9)
+
+
+class TestTwoQubitDecompositions:
+    @given(theta=ANGLES)
+    @settings(max_examples=20, deadline=None)
+    def test_cp(self, theta):
+        qc = QuantumCircuit(2)
+        qc.cp(theta, 0, 1)
+        assert_same_unitary(qc)
+
+    @given(theta=ANGLES)
+    @settings(max_examples=20, deadline=None)
+    def test_crx(self, theta):
+        qc = QuantumCircuit(2)
+        qc.crx(theta, 1, 0)
+        assert_same_unitary(qc)
+
+    def test_cz(self):
+        qc = QuantumCircuit(2)
+        qc.cz(0, 1)
+        assert_same_unitary(qc)
+
+    def test_swap(self):
+        qc = QuantumCircuit(2)
+        qc.swap(0, 1)
+        assert_same_unitary(qc)
+
+
+class TestToffoli:
+    def test_ccx(self):
+        qc = QuantumCircuit(3)
+        qc.ccx(0, 1, 2)
+        assert_same_unitary(qc)
+
+    def test_ccx_permuted_qubits(self):
+        qc = QuantumCircuit(3)
+        qc.ccx(2, 0, 1)
+        assert_same_unitary(qc)
+
+    def test_ccx_with_pattern(self):
+        qc = QuantumCircuit(3)
+        qc.append(Instruction("ccx", (0, 1, 2), ctrl_state=(0, 1)))
+        assert_same_unitary(qc)
+
+
+class TestMultiControlled:
+    @pytest.mark.parametrize("controls", [1, 2, 3, 4])
+    def test_mcx(self, controls):
+        qc = QuantumCircuit(controls + 1)
+        qc.mcx(list(range(controls)), controls)
+        assert_same_unitary(qc)
+
+    @pytest.mark.parametrize("controls", [1, 2, 3])
+    def test_mcp(self, controls):
+        qc = QuantumCircuit(controls + 1)
+        qc.mcp(0.77, list(range(controls)), controls)
+        assert_same_unitary(qc)
+
+    @pytest.mark.parametrize("controls", [1, 2, 3])
+    def test_mcrx(self, controls):
+        qc = QuantumCircuit(controls + 1)
+        qc.mcrx(-1.3, list(range(controls)), controls)
+        assert_same_unitary(qc)
+
+    @given(theta=ANGLES, pattern=st.tuples(st.booleans(), st.booleans(), st.booleans()))
+    @settings(max_examples=25, deadline=None)
+    def test_mcrx_patterns(self, theta, pattern):
+        qc = QuantumCircuit(4)
+        qc.mcrx(theta, [0, 1, 2], 3, ctrl_state=tuple(int(b) for b in pattern))
+        assert_same_unitary(qc)
+
+    @given(theta=ANGLES)
+    @settings(max_examples=15, deadline=None)
+    def test_mcp_with_pattern(self, theta):
+        qc = QuantumCircuit(3)
+        qc.mcp(theta, [0, 1], 2, ctrl_state=(0, 1))
+        assert_same_unitary(qc)
+
+
+class TestOutputBasis:
+    def test_only_native_gates_remain(self):
+        qc = QuantumCircuit(5)
+        qc.mcrx(0.4, [0, 1, 2, 3], 4, ctrl_state=(1, 0, 1, 0))
+        qc.mcp(0.2, [0, 1], 2)
+        qc.swap(1, 2)
+        qc.ccx(0, 1, 2)
+        flat = decompose_circuit(qc)
+        for instr in flat:
+            assert instr.name in NATIVE_AFTER_DECOMPOSITION
+
+    def test_native_passthrough(self):
+        instr = Instruction("rz", (0,), (0.3,))
+        assert decompose_instruction(instr) == [instr]
+
+    def test_measure_passthrough(self):
+        instr = Instruction("measure", (0,))
+        assert decompose_instruction(instr) == [instr]

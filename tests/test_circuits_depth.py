@@ -1,0 +1,108 @@
+"""Depth and gate-count accounting."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.depth import (
+    CX_PER_NONZERO,
+    CostModel,
+    circuit_depth,
+    gate_counts,
+    transition_cx_cost,
+    two_qubit_depth,
+    two_qubit_gate_count,
+)
+
+
+class TestCircuitDepth:
+    def test_empty(self):
+        assert circuit_depth(QuantumCircuit(3)) == 0
+
+    def test_parallel_gates_share_a_layer(self):
+        qc = QuantumCircuit(2)
+        qc.x(0)
+        qc.x(1)
+        assert circuit_depth(qc) == 1
+
+    def test_serial_gates_stack(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        qc.x(0)
+        assert circuit_depth(qc) == 2
+
+    def test_two_qubit_gate_blocks_both_tracks(self):
+        qc = QuantumCircuit(2)
+        qc.x(0)
+        qc.cx(0, 1)
+        qc.x(1)
+        assert circuit_depth(qc) == 3
+
+    def test_barrier_synchronises(self):
+        qc = QuantumCircuit(2)
+        qc.x(0)
+        qc.barrier()
+        qc.x(1)
+        # Without the barrier both X's would share layer 1.
+        assert circuit_depth(qc) == 2
+
+    def test_decomposed_depth_larger_for_mc_gate(self):
+        qc = QuantumCircuit(4)
+        qc.mcrx(0.3, [0, 1, 2], 3)
+        assert circuit_depth(qc) == 1
+        assert circuit_depth(qc, decompose=True) > 1
+
+
+class TestTwoQubitDepth:
+    def test_single_qubit_gates_free(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.h(0)
+        qc.cx(0, 1)
+        assert two_qubit_depth(qc) == 1
+
+    def test_chain(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1)
+        qc.cx(1, 2)
+        assert two_qubit_depth(qc) == 2
+
+    def test_parallel_cx(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 1)
+        qc.cx(2, 3)
+        assert two_qubit_depth(qc) == 1
+
+
+class TestGateCounts:
+    def test_histogram(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.h(1)
+        qc.cx(0, 1)
+        assert gate_counts(qc) == {"h": 2, "cx": 1}
+
+    def test_two_qubit_count_after_decompose(self):
+        qc = QuantumCircuit(3)
+        qc.ccx(0, 1, 2)
+        assert two_qubit_gate_count(qc) == 6  # standard Toffoli CX count
+
+    def test_logical_two_qubit_count(self):
+        qc = QuantumCircuit(3)
+        qc.ccx(0, 1, 2)
+        assert two_qubit_gate_count(qc, decompose=False) == 1
+
+
+class TestTransitionCost:
+    def test_linear_model(self):
+        assert transition_cx_cost(3) == 3 * CX_PER_NONZERO
+
+    def test_zero(self):
+        assert transition_cx_cost(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            transition_cx_cost(-1)
+
+    def test_exact_model_redirected(self):
+        with pytest.raises(ValueError):
+            transition_cx_cost(3, CostModel.EXACT)

@@ -1,0 +1,144 @@
+"""Gate definitions and matrices."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.gates import (
+    Instruction,
+    gate_category,
+    gate_matrix,
+    single_qubit_matrix,
+)
+from repro.exceptions import CircuitError
+
+ANGLES = st.floats(min_value=-2 * math.pi, max_value=2 * math.pi, allow_nan=False)
+
+
+def _assert_unitary(matrix):
+    dim = matrix.shape[0]
+    np.testing.assert_allclose(
+        matrix @ matrix.conj().T, np.eye(dim), atol=1e-10
+    )
+
+
+class TestSingleQubitMatrices:
+    @pytest.mark.parametrize(
+        "name", ["id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx"]
+    )
+    def test_fixed_gates_unitary(self, name):
+        _assert_unitary(single_qubit_matrix(name))
+
+    @pytest.mark.parametrize("name", ["rx", "ry", "rz", "p"])
+    def test_rotations_unitary(self, name):
+        _assert_unitary(single_qubit_matrix(name, (0.7,)))
+
+    def test_u_gate_unitary(self):
+        _assert_unitary(single_qubit_matrix("u", (0.3, 1.1, -0.4)))
+
+    def test_sx_squares_to_x(self):
+        sx = single_qubit_matrix("sx")
+        np.testing.assert_allclose(sx @ sx, single_qubit_matrix("x"), atol=1e-12)
+
+    def test_h_involution(self):
+        h = single_qubit_matrix("h")
+        np.testing.assert_allclose(h @ h, np.eye(2), atol=1e-12)
+
+    def test_s_is_sqrt_z(self):
+        s = single_qubit_matrix("s")
+        np.testing.assert_allclose(s @ s, single_qubit_matrix("z"), atol=1e-12)
+
+    def test_rx_pi_is_minus_i_x(self):
+        rx = single_qubit_matrix("rx", (math.pi,))
+        np.testing.assert_allclose(rx, -1j * single_qubit_matrix("x"), atol=1e-12)
+
+    @given(theta=ANGLES, phi=ANGLES)
+    @settings(max_examples=30, deadline=None)
+    def test_rz_angles_add(self, theta, phi):
+        a = single_qubit_matrix("rz", (theta,))
+        b = single_qubit_matrix("rz", (phi,))
+        np.testing.assert_allclose(
+            a @ b, single_qubit_matrix("rz", (theta + phi,)), atol=1e-9
+        )
+
+    def test_unknown_raises(self):
+        with pytest.raises(CircuitError):
+            single_qubit_matrix("bogus")
+
+
+class TestInstruction:
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            Instruction("cx", (1, 1))
+
+    def test_ctrl_state_length_checked(self):
+        with pytest.raises(CircuitError):
+            Instruction("mcx", (0, 1, 2), ctrl_state=(1,))
+
+    def test_num_controls(self):
+        assert Instruction("cx", (0, 1)).num_controls == 1
+        assert Instruction("ccx", (0, 1, 2)).num_controls == 2
+        assert Instruction("mcp", (0, 1, 2, 3), (0.5,)).num_controls == 3
+        assert Instruction("h", (0,)).num_controls == 0
+
+    def test_default_control_pattern(self):
+        instr = Instruction("mcx", (0, 1, 2))
+        assert instr.control_pattern == (1, 1)
+
+    def test_base_name(self):
+        assert Instruction("mcrx", (0, 1), (0.1,)).base_name == "rx"
+        assert Instruction("cz", (0, 1)).base_name == "z"
+
+    def test_is_unitary(self):
+        assert Instruction("x", (0,)).is_unitary
+        assert not Instruction("measure", (0,)).is_unitary
+
+
+class TestGateMatrix:
+    def test_cx_matrix(self):
+        # Little-endian: control = qubit order index 0.
+        cx = gate_matrix(Instruction("cx", (0, 1)))
+        expected = np.zeros((4, 4))
+        # |00> -> |00>, |01>(q0=1) -> |11>, |10> -> |10>, |11> -> |01>.
+        expected[0, 0] = expected[2, 2] = 1
+        expected[3, 1] = expected[1, 3] = 1
+        np.testing.assert_allclose(cx, expected, atol=1e-12)
+
+    def test_controlled_pattern_zero(self):
+        cx0 = gate_matrix(Instruction("mcx", (0, 1), ctrl_state=(0,)))
+        # Control fires when qubit0 = 0.
+        expected = np.zeros((4, 4))
+        expected[2, 0] = expected[0, 2] = 1  # |00> <-> |10>
+        expected[1, 1] = expected[3, 3] = 1
+        np.testing.assert_allclose(cx0, expected, atol=1e-12)
+
+    def test_mcp_diagonal(self):
+        matrix = gate_matrix(Instruction("mcp", (0, 1, 2), (0.9,)))
+        diag = np.diag(matrix)
+        expected = np.ones(8, dtype=complex)
+        expected[7] = np.exp(1j * 0.9)
+        np.testing.assert_allclose(diag, expected, atol=1e-12)
+        np.testing.assert_allclose(matrix, np.diag(diag), atol=1e-12)
+
+    def test_swap(self):
+        swap = gate_matrix(Instruction("swap", (0, 1)))
+        _assert_unitary(swap)
+        state = np.zeros(4)
+        state[1] = 1  # |q0=1, q1=0>
+        np.testing.assert_allclose(swap @ state, [0, 0, 1, 0], atol=1e-12)
+
+    def test_measure_has_no_matrix(self):
+        with pytest.raises(CircuitError):
+            gate_matrix(Instruction("measure", (0,)))
+
+
+class TestGateCategory:
+    def test_categories(self):
+        assert gate_category(Instruction("x", (0,))) == "1q"
+        assert gate_category(Instruction("cx", (0, 1))) == "2q"
+        assert gate_category(Instruction("mcx", (0, 1, 2))) == "multi"
+        assert gate_category(Instruction("measure", (0,))) == "measure"
+        assert gate_category(Instruction("barrier", ())) == "barrier"

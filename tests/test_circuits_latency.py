@@ -1,0 +1,95 @@
+"""Latency model accounting."""
+
+import pytest
+
+from repro.circuits.latency import DeviceTimings, LatencyModel
+from repro.metrics.latency import algorithm_latency, latency_breakdown_table
+
+
+class TestLatencyModel:
+    def test_circuit_duration(self):
+        model = LatencyModel(timings=DeviceTimings(
+            single_qubit_gate=1.0, two_qubit_gate=10.0))
+        assert model.circuit_duration(3, 2) == pytest.approx(23.0)
+
+    def test_quantum_scales_with_shots(self):
+        model = LatencyModel()
+        small = model.training_latency(
+            iterations=10, shots=100, depth_1q=10, depth_2q=10, num_parameters=5
+        )
+        large = model.training_latency(
+            iterations=10, shots=1000, depth_1q=10, depth_2q=10, num_parameters=5
+        )
+        assert large.quantum > small.quantum
+
+    def test_segments_multiply_quantum_time(self):
+        model = LatencyModel()
+        one = model.training_latency(
+            iterations=10, shots=100, depth_1q=10, depth_2q=10,
+            num_parameters=5, segments=1,
+        )
+        four = model.training_latency(
+            iterations=10, shots=100, depth_1q=10, depth_2q=10,
+            num_parameters=5, segments=4,
+        )
+        assert four.quantum == pytest.approx(4 * one.quantum)
+
+    def test_purification_accounted_separately(self):
+        model = LatencyModel()
+        report = model.training_latency(
+            iterations=10, shots=100, depth_1q=10, depth_2q=10,
+            num_parameters=5, purify=True, distinct_states=8,
+        )
+        assert report.purification > 0
+        assert report.total == pytest.approx(
+            report.quantum + report.classical + report.purification
+        )
+
+    def test_purification_is_tiny_fraction(self):
+        # Paper: purification < 0.01% of training time.
+        model = LatencyModel()
+        report = model.training_latency(
+            iterations=100, shots=1024, depth_1q=50, depth_2q=50,
+            num_parameters=10, segments=3, purify=True, distinct_states=24,
+        )
+        assert report.purification / report.total < 1e-3
+
+    def test_as_dict(self):
+        model = LatencyModel()
+        report = model.training_latency(
+            iterations=1, shots=1, depth_1q=1, depth_2q=1, num_parameters=1
+        )
+        assert set(report.as_dict()) == {"quantum", "classical", "purification", "total"}
+
+
+class TestAlgorithmLatency:
+    def _report(self, algorithm, **kwargs):
+        defaults = dict(
+            iterations=100, shots=1024, depth_1q=60, depth_2q=50, num_parameters=10
+        )
+        defaults.update(kwargs)
+        return algorithm_latency(algorithm, **defaults)
+
+    def test_penalty_methods_have_higher_classical_cost(self):
+        hea = self._report("hea")
+        chocoq = self._report("chocoq")
+        assert hea.classical > chocoq.classical
+
+    def test_rasengan_includes_purification(self):
+        rasengan = self._report("rasengan", segments=3)
+        assert rasengan.purification > 0
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            self._report("annealing")
+
+    def test_breakdown_table_renders(self):
+        reports = {"hea": self._report("hea"), "rasengan": self._report("rasengan")}
+        text = latency_breakdown_table(reports)
+        assert "hea" in text and "rasengan" in text
+
+    def test_rasengan_beats_chocoq_at_paper_depths(self):
+        # Table 1 shape: segmented shallow circuits beat one deep circuit.
+        chocoq = self._report("chocoq", depth_2q=1400, depth_1q=300)
+        rasengan = self._report("rasengan", depth_2q=50, depth_1q=60, segments=3)
+        assert rasengan.total < chocoq.total

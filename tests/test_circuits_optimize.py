@@ -1,0 +1,144 @@
+"""Peephole optimization: exactness and effectiveness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.optimize import optimize_circuit
+from repro.circuits.unitary import circuit_unitary, unitaries_equal
+
+
+class TestCancellation:
+    def test_double_x_cancels(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        qc.x(0)
+        assert len(optimize_circuit(qc)) == 0
+
+    def test_double_cx_cancels(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        qc.cx(0, 1)
+        assert len(optimize_circuit(qc)) == 0
+
+    def test_reversed_cx_not_cancelled(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        qc.cx(1, 0)
+        assert len(optimize_circuit(qc)) == 2
+
+    def test_cancellation_through_disjoint_wires(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.x(2)  # disjoint — must not block the H pair
+        qc.h(0)
+        optimized = optimize_circuit(qc)
+        assert [instr.name for instr in optimized] == ["x"]
+
+    def test_blocking_gate_prevents_cancellation(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.t(0)
+        qc.h(0)
+        assert len(optimize_circuit(qc)) == 3
+
+    def test_cascaded_cancellation(self):
+        qc = QuantumCircuit(1)
+        qc.x(0); qc.h(0); qc.h(0); qc.x(0)
+        assert len(optimize_circuit(qc)) == 0
+
+
+class TestRotationMerging:
+    def test_rz_merge(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.3, 0)
+        qc.rz(0.4, 0)
+        optimized = optimize_circuit(qc)
+        assert len(optimized) == 1
+        assert optimized[0].params[0] == pytest.approx(0.7)
+
+    def test_opposite_rotations_vanish(self):
+        qc = QuantumCircuit(1)
+        qc.rx(0.9, 0)
+        qc.rx(-0.9, 0)
+        assert len(optimize_circuit(qc)) == 0
+
+    def test_identity_rotation_dropped(self):
+        qc = QuantumCircuit(1)
+        qc.p(2 * np.pi, 0)
+        assert len(optimize_circuit(qc)) == 0
+
+    def test_rz_two_pi_kept(self):
+        # RZ(2*pi) = -I: a global phase, but significant under controls;
+        # only the true identity period 4*pi is dropped.
+        qc = QuantumCircuit(1)
+        qc.rz(2 * np.pi, 0)
+        assert len(optimize_circuit(qc)) == 1
+        qc2 = QuantumCircuit(1)
+        qc2.rz(4 * np.pi, 0)
+        assert len(optimize_circuit(qc2)) == 0
+
+    def test_controlled_rotation_merge_same_pattern(self):
+        qc = QuantumCircuit(3)
+        qc.mcrx(0.2, [0, 1], 2, ctrl_state=(1, 0))
+        qc.mcrx(0.3, [0, 1], 2, ctrl_state=(1, 0))
+        optimized = optimize_circuit(qc)
+        assert len(optimized) == 1
+        assert optimized[0].params[0] == pytest.approx(0.5)
+
+    def test_different_patterns_not_merged(self):
+        qc = QuantumCircuit(3)
+        qc.mcrx(0.2, [0, 1], 2, ctrl_state=(1, 0))
+        qc.mcrx(0.3, [0, 1], 2, ctrl_state=(0, 1))
+        assert len(optimize_circuit(qc)) == 2
+
+
+class TestExactness:
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_circuits_preserve_unitary(self, seed):
+        rng = np.random.default_rng(seed)
+        qc = QuantumCircuit(3)
+        for _ in range(25):
+            kind = rng.integers(0, 6)
+            q = int(rng.integers(0, 3))
+            if kind == 0:
+                qc.x(q)
+            elif kind == 1:
+                qc.h(q)
+            elif kind == 2:
+                qc.rz(float(rng.uniform(-3, 3)), q)
+            elif kind == 3:
+                a, b = rng.choice(3, size=2, replace=False)
+                qc.cx(int(a), int(b))
+            elif kind == 4:
+                qc.rx(float(rng.uniform(-3, 3)), q)
+            else:
+                qc.t(q)
+        optimized = optimize_circuit(qc)
+        assert len(optimized) <= len(qc)
+        assert unitaries_equal(
+            circuit_unitary(optimized), circuit_unitary(qc), atol=1e-9
+        )
+
+    def test_shrinks_transition_roundtrip(self):
+        # tau(u, t) followed by tau(u, -t): the optimizer should strip the
+        # CX ladders and merged MCRX entirely.
+        from repro.core.transition import transition_circuit
+
+        u = np.array([1, -1, 0, 1])
+        qc = transition_circuit(u, 0.7, 4)
+        qc.compose(transition_circuit(u, -0.7, 4))
+        optimized = optimize_circuit(qc)
+        assert len(optimized) == 0
+
+    def test_measure_untouched(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.measure(0)
+        qc.h(0)
+        optimized = optimize_circuit(qc)
+        # Measurement is a barrier for the optimizer: H...H stays.
+        assert [instr.name for instr in optimized] == ["h", "measure", "h"]

@@ -1,0 +1,198 @@
+"""Transpilation: native-basis translation and routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.transpile import (
+    NATIVE_BASIS,
+    CouplingMap,
+    grid_coupling,
+    linear_coupling,
+    route_circuit,
+    to_native_basis,
+    transpile,
+    zyz_angles,
+)
+from repro.circuits.unitary import circuit_unitary, unitaries_equal
+from repro.exceptions import CircuitError
+from repro.simulators.statevector import simulate_statevector
+
+ANGLES = st.floats(min_value=-3.1, max_value=3.1, allow_nan=False)
+
+
+class TestZyzAngles:
+    @given(theta=ANGLES, phi=ANGLES, lam=ANGLES)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, theta, phi, lam):
+        from repro.circuits.gates import single_qubit_matrix
+
+        u = single_qubit_matrix("u", (abs(theta), phi, lam))
+        t, p, l = zyz_angles(u)
+        rz_p = single_qubit_matrix("rz", (p,))
+        ry_t = single_qubit_matrix("ry", (t,))
+        rz_l = single_qubit_matrix("rz", (l,))
+        rebuilt = rz_p @ ry_t @ rz_l
+        assert unitaries_equal(rebuilt, u, up_to_global_phase=True)
+
+    def test_identity(self):
+        theta, _, _ = zyz_angles(np.eye(2, dtype=complex))
+        assert theta == pytest.approx(0.0)
+
+    def test_pauli_x(self):
+        from repro.circuits.gates import single_qubit_matrix
+
+        theta, _, _ = zyz_angles(single_qubit_matrix("x"))
+        assert theta == pytest.approx(np.pi)
+
+
+class TestToNativeBasis:
+    def _roundtrip(self, build, n):
+        qc = QuantumCircuit(n)
+        build(qc)
+        native = to_native_basis(qc)
+        for instr in native:
+            assert instr.name in NATIVE_BASIS or instr.name in (
+                "measure", "reset", "barrier",
+            )
+        assert unitaries_equal(
+            circuit_unitary(native), circuit_unitary(qc), up_to_global_phase=True
+        )
+
+    def test_hadamard(self):
+        self._roundtrip(lambda qc: qc.h(0), 1)
+
+    def test_mixed_rotations(self):
+        self._roundtrip(
+            lambda qc: (qc.ry(0.7, 0), qc.rx(0.2, 1), qc.u(0.3, 1.1, -0.4, 0)), 2
+        )
+
+    def test_entangled(self):
+        self._roundtrip(lambda qc: (qc.h(0), qc.cx(0, 1), qc.t(1)), 2)
+
+    def test_multi_controlled(self):
+        self._roundtrip(lambda qc: qc.mcrx(0.9, [0, 1], 2, ctrl_state=(1, 0)), 3)
+
+    def test_fusion_shrinks_gate_count(self):
+        qc = QuantumCircuit(1)
+        for _ in range(10):
+            qc.rz(0.1, 0)
+            qc.ry(0.2, 0)
+        native = to_native_basis(qc)
+        # Ten rotation pairs fuse into a single ZSX pattern (<= 5 gates).
+        assert len(native) <= 5
+
+    def test_measure_preserved(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.measure(0)
+        native = to_native_basis(qc)
+        assert native.instructions[-1].name == "measure"
+
+    def test_pure_z_rotation_is_single_rz(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.5, 0)
+        qc.s(0)
+        native = to_native_basis(qc)
+        assert [instr.name for instr in native] == ["rz"]
+
+
+class TestCouplingMaps:
+    def test_linear(self):
+        coupling = linear_coupling(4)
+        assert coupling.edges == ((0, 1), (1, 2), (2, 3))
+        assert coupling.num_qubits == 4
+
+    def test_grid(self):
+        coupling = grid_coupling(2, 2)
+        assert set(map(frozenset, coupling.edges)) == {
+            frozenset({0, 1}), frozenset({2, 3}),
+            frozenset({0, 2}), frozenset({1, 3}),
+        }
+
+
+class TestRouting:
+    def _check_state_preserved(self, qc, coupling):
+        routed, mapping = route_circuit(qc, coupling)
+        graph = coupling.graph()
+        for instr in routed:
+            if instr.name == "cx":
+                assert graph.has_edge(*instr.qubits)
+        original = simulate_statevector(qc)
+        routed_state = simulate_statevector(routed)
+        n_logical = qc.num_qubits
+        n_physical = coupling.num_qubits
+        rebuilt = np.zeros(1 << n_logical, dtype=complex)
+        for key in range(1 << n_physical):
+            amplitude = routed_state[key]
+            if abs(amplitude) < 1e-12:
+                continue
+            logical_key = 0
+            for lq in range(n_logical):
+                if (key >> mapping[lq]) & 1:
+                    logical_key |= 1 << lq
+            rebuilt[logical_key] += amplitude
+        np.testing.assert_allclose(rebuilt, original, atol=1e-9)
+
+    def test_adjacent_cx_untouched(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        routed, mapping = route_circuit(qc, linear_coupling(2))
+        assert sum(1 for instr in routed if instr.name == "cx") == 1
+        assert mapping == {0: 0, 1: 1}
+
+    def test_long_range_cx_on_a_line(self):
+        qc = QuantumCircuit(4)
+        qc.h(0)
+        qc.cx(0, 3)
+        self._check_state_preserved(qc, linear_coupling(4))
+
+    def test_many_gates(self):
+        qc = QuantumCircuit(5)
+        qc.h(0)
+        qc.cx(0, 4)
+        qc.cx(1, 3)
+        qc.rx(0.3, 2)
+        qc.cx(4, 0)
+        self._check_state_preserved(qc, linear_coupling(5))
+
+    def test_grid_routing(self):
+        qc = QuantumCircuit(4)
+        qc.h(0)
+        qc.cx(0, 3)
+        self._check_state_preserved(qc, grid_coupling(2, 2))
+
+    def test_too_small_coupling_rejected(self):
+        qc = QuantumCircuit(3)
+        with pytest.raises(CircuitError):
+            route_circuit(qc, linear_coupling(2))
+
+    def test_unflattened_gate_rejected(self):
+        qc = QuantumCircuit(3)
+        qc.ccx(0, 1, 2)
+        with pytest.raises(CircuitError):
+            route_circuit(qc, linear_coupling(3))
+
+
+class TestFullPipeline:
+    def test_transpile_end_to_end(self):
+        from repro.core.transition import transition_circuit
+
+        qc = transition_circuit(np.array([1, -1, 0, 1]), 0.6, 4)
+        result = transpile(qc, linear_coupling(4))
+        for instr in result:
+            assert instr.name in NATIVE_BASIS or instr.name in (
+                "measure", "barrier",
+            )
+
+    def test_transpile_without_coupling(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        result = transpile(qc)
+        assert unitaries_equal(
+            circuit_unitary(result), circuit_unitary(qc), up_to_global_phase=True
+        )

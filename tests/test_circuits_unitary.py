@@ -1,0 +1,102 @@
+"""Unitary extraction and comparison helpers."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.unitary import circuit_unitary, unitaries_equal
+from repro.exceptions import SimulationError
+
+
+class TestCircuitUnitary:
+    def test_identity_circuit(self):
+        np.testing.assert_allclose(
+            circuit_unitary(QuantumCircuit(2)), np.eye(4), atol=1e-12
+        )
+
+    def test_x_gate(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        np.testing.assert_allclose(
+            circuit_unitary(qc), [[0, 1], [1, 0]], atol=1e-12
+        )
+
+    def test_composition_is_matrix_product(self):
+        a = QuantumCircuit(1)
+        a.h(0)
+        b = QuantumCircuit(1)
+        b.t(0)
+        combined = QuantumCircuit(1)
+        combined.h(0)
+        combined.t(0)
+        np.testing.assert_allclose(
+            circuit_unitary(combined),
+            circuit_unitary(b) @ circuit_unitary(a),
+            atol=1e-12,
+        )
+
+    def test_result_is_unitary(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.crx(0.7, 0, 1)
+        u = circuit_unitary(qc)
+        np.testing.assert_allclose(u @ u.conj().T, np.eye(4), atol=1e-10)
+
+    def test_size_guard(self):
+        with pytest.raises(SimulationError):
+            circuit_unitary(QuantumCircuit(13))
+
+
+class TestUnitariesEqual:
+    def test_exact_equality(self):
+        u = np.eye(2)
+        assert unitaries_equal(u, u)
+
+    def test_global_phase(self):
+        u = np.eye(2, dtype=complex)
+        assert not unitaries_equal(u, 1j * u)
+        assert unitaries_equal(u, 1j * u, up_to_global_phase=True)
+
+    def test_shape_mismatch(self):
+        assert not unitaries_equal(np.eye(2), np.eye(4))
+
+    def test_non_phase_difference_detected(self):
+        u = np.eye(2, dtype=complex)
+        v = np.array([[0, 1], [1, 0]], dtype=complex)
+        assert not unitaries_equal(u, v, up_to_global_phase=True)
+
+    def test_scaled_matrix_rejected(self):
+        u = np.eye(2, dtype=complex)
+        assert not unitaries_equal(u, 2.0 * u, up_to_global_phase=True)
+
+
+class TestSummaryModule:
+    def test_headline_from_table2(self):
+        from repro.experiments.summary import headline_from_results
+        from repro.experiments.table2 import Table2, Table2Cell
+
+        table = Table2()
+        table.cells["X1"] = {
+            "rasengan": Table2Cell(arg=0.01, depth=50, num_parameters=5, cases=1),
+            "chocoq": Table2Cell(arg=0.10, depth=500, num_parameters=10, cases=1),
+            "pqaoa": Table2Cell(arg=10.0, depth=100, num_parameters=10, cases=1),
+            "hea": Table2Cell(arg=20.0, depth=30, num_parameters=70, cases=1),
+        }
+        headline = headline_from_results(table)
+        assert headline.arg_vs_chocoq == pytest.approx(10.0)
+        assert headline.arg_vs_pqaoa == pytest.approx(1000.0)
+        assert headline.depth_vs_chocoq == pytest.approx(10.0)
+        assert headline.hardware_improvement is None
+        assert "Choco-Q" in headline.format()
+
+    def test_zero_arg_floored(self):
+        from repro.experiments.summary import headline_from_results
+        from repro.experiments.table2 import Table2, Table2Cell
+
+        table = Table2()
+        table.cells["X1"] = {
+            "rasengan": Table2Cell(arg=0.0, depth=50, num_parameters=5, cases=1),
+            "chocoq": Table2Cell(arg=1.0, depth=500, num_parameters=10, cases=1),
+        }
+        headline = headline_from_results(table)
+        assert np.isfinite(headline.arg_vs_chocoq)

@@ -1,0 +1,63 @@
+"""Text circuit drawing."""
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.visualize import draw
+
+
+class TestDraw:
+    def test_bell(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        text = draw(qc)
+        assert text.splitlines()[0].startswith("q0:")
+        assert "[H]" in text
+        assert "●" in text
+        assert "X" in text
+
+    def test_rows_aligned(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.mcrx(0.5, [0], 2, ctrl_state=(0,))
+        qc.measure_all()
+        lines = draw(qc).splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_zero_control_marker(self):
+        qc = QuantumCircuit(2)
+        qc.mcx([0], 1, ctrl_state=(0,))
+        assert "○" in draw(qc)
+
+    def test_parameterised_label(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.25, 0)
+        assert "RZ(0.25)" in draw(qc)
+
+    def test_empty_circuit(self):
+        text = draw(QuantumCircuit(2))
+        assert text.splitlines() == ["q0: ", "q1: "]
+
+    def test_wrapping(self):
+        qc = QuantumCircuit(1)
+        for _ in range(100):
+            qc.x(0)
+        text = draw(qc, max_width=40)
+        assert "..." in text
+
+    def test_measure_label(self):
+        qc = QuantumCircuit(1)
+        qc.measure(0)
+        assert "[M]" in draw(qc)
+
+    def test_layering_matches_depth(self):
+        from repro.circuits.depth import circuit_depth
+
+        qc = QuantumCircuit(2)
+        qc.x(0)
+        qc.x(1)
+        qc.cx(0, 1)
+        text = draw(qc)
+        # Two layers: parallel X's then the CX.
+        assert circuit_depth(qc) == 2
+        assert text.count("X") >= 3

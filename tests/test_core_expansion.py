@@ -1,0 +1,54 @@
+"""Coverage timelines and pruning speedup (Figure 17)."""
+
+import numpy as np
+import pytest
+
+from repro.core.expansion import coverage_timeline, expansion_speedup
+from repro.core.prune import prune_schedule
+from repro.problems import make_benchmark
+
+
+class TestCoverageTimeline:
+    def test_paper_example(self, paper_basis, paper_constraints):
+        _, _, particular = paper_constraints
+        timeline = coverage_timeline(paper_basis, particular)
+        assert timeline.chain_length == 9
+        assert timeline.final_coverage == 5
+        assert timeline.covered == tuple(sorted(timeline.covered))
+
+    def test_full_coverage_position(self, paper_basis, paper_constraints):
+        _, _, particular = paper_constraints
+        timeline = coverage_timeline(paper_basis, particular)
+        position = timeline.full_coverage_position
+        assert timeline.covered[position] == 5
+        if position > 0:
+            assert timeline.covered[position - 1] < 5
+
+    def test_explicit_schedule(self, paper_basis, paper_constraints):
+        _, _, particular = paper_constraints
+        timeline = coverage_timeline(paper_basis, particular, [1, 2])
+        assert timeline.chain_length == 2
+
+    def test_fraction_in_unit_interval(self, paper_basis, paper_constraints):
+        _, _, particular = paper_constraints
+        timeline = coverage_timeline(paper_basis, particular)
+        assert 0 < timeline.full_coverage_fraction <= 1
+
+
+class TestExpansionSpeedup:
+    def test_pruning_speeds_up_paper_example(self, paper_basis, paper_constraints):
+        _, _, particular = paper_constraints
+        pruned = prune_schedule(paper_basis, particular)
+        speedup = expansion_speedup(paper_basis, particular, pruned.schedule)
+        assert speedup >= 1.0
+
+    @pytest.mark.parametrize("benchmark_id", ["F2", "K2", "S1", "G3"])
+    def test_pruned_chain_reaches_same_coverage(self, benchmark_id):
+        problem = make_benchmark(benchmark_id, 0)
+        basis = problem.homogeneous_basis
+        initial = problem.initial_feasible_solution()
+        pruned = prune_schedule(basis, initial)
+        full = coverage_timeline(basis, initial)
+        short = coverage_timeline(basis, initial, pruned.schedule)
+        assert short.final_coverage == full.final_coverage
+        assert expansion_speedup(basis, initial, pruned.schedule) >= 1.0

@@ -1,0 +1,143 @@
+"""Transition Hamiltonian: Definition 1 and Equation 6."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hamiltonian import TransitionHamiltonian
+from repro.exceptions import ProblemError
+from repro.linalg.bitvec import bits_to_int, int_to_bits
+
+SIGNED_UNIT_VECTORS = st.lists(
+    st.sampled_from([-1, 0, 1]), min_size=2, max_size=6
+).filter(lambda v: any(v))
+
+
+class TestConstruction:
+    def test_rejects_non_signed_unit(self):
+        with pytest.raises(ProblemError):
+            TransitionHamiltonian((0, 2, -1))
+
+    def test_from_vector(self):
+        h = TransitionHamiltonian.from_vector(np.array([1, 0, -1]))
+        assert h.basis_vector == (1, 0, -1)
+        assert h.support == (0, 2)
+        assert h.num_nonzero == 2
+        assert h.num_qubits == 3
+
+
+class TestPairingAction:
+    def test_partner_plus(self):
+        h = TransitionHamiltonian((1, -1))
+        partner = h.partner_of(np.array([0, 1]))
+        assert partner is not None
+        np.testing.assert_array_equal(partner, [1, 0])
+
+    def test_partner_none(self):
+        h = TransitionHamiltonian((1, -1))
+        assert h.partner_of(np.array([0, 0])) is None
+        assert h.partner_of(np.array([1, 1])) is None
+
+    @given(vec=SIGNED_UNIT_VECTORS, key_seed=st.integers(min_value=0, max_value=63))
+    @settings(max_examples=80, deadline=None)
+    def test_partner_involution(self, vec, key_seed):
+        h = TransitionHamiltonian(tuple(vec))
+        n = len(vec)
+        key = key_seed % (1 << n)
+        partner = h.partner_key(key, n)
+        if partner is not None:
+            assert h.partner_key(partner, n) == key
+            assert partner != key
+
+
+class TestMatrixForm:
+    def test_matches_definition_on_paper_vector(self):
+        # u2 = (-1, 0, -1, 1, 0): |x_p> = |00010> pairs with |10100>.
+        h = TransitionHamiltonian((-1, 0, -1, 1, 0))
+        matrix = h.to_matrix()
+        x_p = bits_to_int([0, 0, 0, 1, 0])
+        x_g = bits_to_int([1, 0, 1, 0, 0])
+        assert matrix[x_g, x_p] == 1
+        assert matrix[x_p, x_g] == 1
+
+    def test_hermitian(self):
+        h = TransitionHamiltonian((1, -1, 0, 1))
+        matrix = h.to_matrix()
+        np.testing.assert_allclose(matrix, matrix.conj().T, atol=1e-12)
+
+    @given(vec=SIGNED_UNIT_VECTORS)
+    @settings(max_examples=40, deadline=None)
+    def test_matrix_matches_pairing(self, vec):
+        h = TransitionHamiltonian(tuple(vec))
+        n = len(vec)
+        matrix = h.to_matrix()
+        for key in range(1 << n):
+            partner = h.partner_key(key, n)
+            column = matrix[:, key]
+            if partner is None:
+                assert not column.any()
+            else:
+                assert column[partner] == 1
+                assert np.count_nonzero(column) == 1
+
+    def test_h_squared_is_identity_on_pairs(self):
+        # H^2 |x> = |x> whenever H |x> != 0 (the premise of Equation 2).
+        h = TransitionHamiltonian((1, -1, 1))
+        matrix = h.to_matrix()
+        squared = matrix @ matrix
+        for key in range(8):
+            if matrix[:, key].any():
+                expected = np.zeros(8)
+                expected[key] = 1
+                np.testing.assert_allclose(squared[:, key], expected, atol=1e-12)
+
+
+class TestEvolution:
+    def test_unitary(self):
+        h = TransitionHamiltonian((1, 0, -1))
+        op = h.evolution_matrix(0.7)
+        np.testing.assert_allclose(op @ op.conj().T, np.eye(8), atol=1e-10)
+
+    def test_matches_expm(self):
+        from scipy.linalg import expm
+
+        h = TransitionHamiltonian((1, -1, 0, 1))
+        time = 0.93
+        expected = expm(-1j * time * h.to_matrix())
+        np.testing.assert_allclose(h.evolution_matrix(time), expected, atol=1e-9)
+
+    def test_equation_six(self):
+        # exp(-iHt)|x_p> = cos t |x_p> - i sin t |x_g>.
+        h = TransitionHamiltonian((1, -1))
+        time = 0.4
+        op = h.evolution_matrix(time)
+        x_p = bits_to_int([0, 1])
+        x_g = bits_to_int([1, 0])
+        state = np.zeros(4, dtype=complex)
+        state[x_p] = 1.0
+        out = op @ state
+        assert out[x_p] == pytest.approx(np.cos(time))
+        assert out[x_g] == pytest.approx(-1j * np.sin(time))
+
+    def test_fixed_points_untouched(self):
+        h = TransitionHamiltonian((1, -1))
+        op = h.evolution_matrix(1.2)
+        for bits in ([0, 0], [1, 1]):
+            key = bits_to_int(bits)
+            state = np.zeros(4, dtype=complex)
+            state[key] = 1.0
+            np.testing.assert_allclose(op @ state, state, atol=1e-12)
+
+    def test_time_pi_over_two_is_full_transfer(self):
+        # At t = pi/2 the state collapses onto the partner basis state —
+        # the mechanism that lets Rasengan end in a basis state.
+        h = TransitionHamiltonian((1, -1))
+        op = h.evolution_matrix(np.pi / 2)
+        x_p = bits_to_int([0, 1])
+        x_g = bits_to_int([1, 0])
+        state = np.zeros(4, dtype=complex)
+        state[x_p] = 1.0
+        out = op @ state
+        assert abs(out[x_g]) == pytest.approx(1.0)
+        assert abs(out[x_p]) == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,80 @@
+"""Purification-based error mitigation (Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.purification import purify_counts, purify_probabilities
+from repro.exceptions import NoFeasibleStateError
+from repro.linalg.bitvec import bits_to_int
+
+
+@pytest.fixture
+def system(paper_constraints):
+    matrix, bound, _ = paper_constraints
+    return matrix, bound
+
+
+class TestPurifyCounts:
+    def test_removes_infeasible(self, system):
+        matrix, bound = system
+        feasible_key = bits_to_int([0, 0, 0, 1, 0])
+        infeasible_key = bits_to_int([1, 1, 1, 1, 1])
+        counts = {feasible_key: 60, infeasible_key: 40}
+        purified, rate = purify_counts(counts, matrix, bound)
+        assert purified == {feasible_key: 60}
+        assert rate == pytest.approx(0.6)
+
+    def test_figure8_rate(self, system):
+        # Figure 8: 20 of 100 shots removed -> rate 0.8 and the surviving
+        # state's share of the next segment is 60/80.
+        matrix, bound = system
+        good = bits_to_int([0, 0, 0, 1, 0])
+        good2 = bits_to_int([1, 0, 1, 0, 0])
+        bad = bits_to_int([1, 1, 1, 1, 1])
+        counts = {good: 60, good2: 20, bad: 20}
+        purified, rate = purify_counts(counts, matrix, bound)
+        assert rate == pytest.approx(0.8)
+        share = purified[good] / sum(purified.values())
+        assert share == pytest.approx(60 / 80)
+
+    def test_all_feasible_untouched(self, system):
+        matrix, bound = system
+        key = bits_to_int([0, 0, 0, 1, 0])
+        purified, rate = purify_counts({key: 10}, matrix, bound)
+        assert purified == {key: 10}
+        assert rate == 1.0
+
+    def test_all_infeasible_raises(self, system):
+        matrix, bound = system
+        with pytest.raises(NoFeasibleStateError):
+            purify_counts({bits_to_int([1, 1, 1, 1, 1]): 5}, matrix, bound)
+
+    def test_empty_counts_raise(self, system):
+        matrix, bound = system
+        with pytest.raises(NoFeasibleStateError):
+            purify_counts({}, matrix, bound)
+
+
+class TestPurifyProbabilities:
+    def test_renormalises(self, system):
+        matrix, bound = system
+        good = bits_to_int([0, 0, 0, 1, 0])
+        bad = bits_to_int([1, 1, 1, 1, 1])
+        purified, mass = purify_probabilities({good: 0.5, bad: 0.5}, matrix, bound)
+        assert purified[good] == pytest.approx(1.0)
+        assert mass == pytest.approx(0.5)
+
+    def test_zero_mass_raises(self, system):
+        matrix, bound = system
+        with pytest.raises(NoFeasibleStateError):
+            purify_probabilities({bits_to_int([1, 1, 0, 0, 0]): 1.0}, matrix, bound)
+
+    def test_preserves_relative_weights(self, system):
+        matrix, bound = system
+        a = bits_to_int([0, 0, 0, 1, 0])
+        b = bits_to_int([1, 0, 1, 0, 0])
+        bad = bits_to_int([1, 1, 1, 1, 1])
+        purified, _ = purify_probabilities(
+            {a: 0.3, b: 0.1, bad: 0.6}, matrix, bound
+        )
+        assert purified[a] / purified[b] == pytest.approx(3.0)

@@ -1,0 +1,80 @@
+"""Segmented execution planning and shot allocation."""
+
+import pytest
+
+from repro.core.segmentation import (
+    SegmentPlan,
+    allocate_shots,
+    merge_counts,
+    plan_segments,
+)
+
+
+class TestPlanSegments:
+    def test_one_transition_per_segment(self):
+        plan = plan_segments(5, 1)
+        assert plan.num_segments == 5
+        assert plan.segments == ((0,), (1,), (2,), (3,), (4,))
+
+    def test_grouped(self):
+        plan = plan_segments(5, 2)
+        assert plan.segments == ((0, 1), (2, 3), (4,))
+
+    def test_single_segment(self):
+        plan = plan_segments(4, 100)
+        assert plan.num_segments == 1
+
+    def test_empty_schedule(self):
+        assert plan_segments(0, 1).num_segments == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            plan_segments(3, 0)
+
+    def test_iteration(self):
+        plan = plan_segments(3, 2)
+        assert list(plan) == [(0, 1), (2,)]
+
+
+class TestAllocateShots:
+    def test_figure7_example(self):
+        # 70% / 30% split of 100 shots (Figure 7).
+        allocation = allocate_shots({1: 0.7, 2: 0.3}, 100)
+        assert allocation == {1: 70, 2: 30}
+
+    def test_total_preserved_with_rounding(self):
+        allocation = allocate_shots({0: 1 / 3, 1: 1 / 3, 2: 1 / 3}, 100)
+        assert sum(allocation.values()) == 100
+
+    def test_unnormalised_input(self):
+        allocation = allocate_shots({0: 7, 1: 3}, 10)
+        assert allocation == {0: 7, 1: 3}
+
+    def test_zero_share_states_dropped(self):
+        allocation = allocate_shots({0: 0.999, 1: 0.001}, 10)
+        assert allocation == {0: 10}
+
+    def test_empty_distribution(self):
+        assert allocate_shots({}, 10) == {}
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_shots({0: 0.0}, 10)
+
+    def test_negative_shots_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_shots({0: 1.0}, -1)
+
+    def test_largest_remainder_fairness(self):
+        allocation = allocate_shots({0: 0.26, 1: 0.26, 2: 0.48}, 10)
+        assert sum(allocation.values()) == 10
+        assert allocation[2] == 5
+
+
+class TestMergeCounts:
+    def test_merge(self):
+        merged = merge_counts([{0: 3, 1: 1}, {1: 2, 5: 4}])
+        assert merged == {0: 3, 1: 3, 5: 4}
+
+    def test_empty(self):
+        assert merge_counts([]) == {}

@@ -1,0 +1,68 @@
+"""Hamiltonian simplification (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.simplify import simplify_basis, total_nonzeros
+from repro.problems import make_benchmark
+
+
+class TestPaperExample:
+    def test_figure5_reduction(self, paper_basis):
+        # u2 = (-1,0,-1,1,0) + u3 = (1,0,1,0,1) -> (0,0,0,1,1): 3 -> 2 nnz.
+        simplified = simplify_basis(paper_basis)
+        assert total_nonzeros(simplified) < total_nonzeros(paper_basis)
+        rows = {tuple(r) for r in simplified}
+        assert (0, 0, 0, 1, 1) in rows or (0, 0, 0, -1, -1) in rows
+
+
+class TestInvariants:
+    def test_never_increases_nonzeros(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            basis = rng.integers(-1, 2, size=(4, 8))
+            simplified = simplify_basis(basis)
+            assert total_nonzeros(simplified) <= total_nonzeros(basis)
+
+    def test_span_preserved(self, paper_basis):
+        simplified = simplify_basis(paper_basis, iterate=True)
+        stacked = np.vstack([paper_basis, simplified])
+        assert np.linalg.matrix_rank(stacked) == np.linalg.matrix_rank(paper_basis)
+        assert np.linalg.matrix_rank(simplified) == np.linalg.matrix_rank(paper_basis)
+
+    def test_output_signed_unit(self, paper_basis):
+        simplified = simplify_basis(paper_basis, iterate=True)
+        assert set(np.unique(simplified)).issubset({-1, 0, 1})
+
+    def test_nullspace_membership_preserved(self, paper_constraints, paper_basis):
+        matrix, _, _ = paper_constraints
+        simplified = simplify_basis(paper_basis, iterate=True)
+        assert not (matrix @ simplified.T).any()
+
+    def test_input_not_mutated(self, paper_basis):
+        snapshot = paper_basis.copy()
+        simplify_basis(paper_basis, iterate=True)
+        np.testing.assert_array_equal(paper_basis, snapshot)
+
+    def test_iterate_at_least_as_good(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            basis = rng.integers(-1, 2, size=(5, 10))
+            once = simplify_basis(basis)
+            fixed = simplify_basis(basis, iterate=True)
+            assert total_nonzeros(fixed) <= total_nonzeros(once)
+
+    def test_empty_basis(self):
+        empty = np.zeros((0, 4), dtype=np.int64)
+        assert simplify_basis(empty).shape == (0, 4)
+
+
+class TestOnBenchmarks:
+    @pytest.mark.parametrize("benchmark_id", ["F2", "K3", "J3", "S2", "G3"])
+    def test_simplification_helps_or_is_neutral(self, benchmark_id):
+        problem = make_benchmark(benchmark_id, 0)
+        basis = problem.homogeneous_basis
+        simplified = simplify_basis(basis, iterate=True)
+        assert total_nonzeros(simplified) <= total_nonzeros(basis)
+        assert not (problem.constraint_matrix @ simplified.T).any()
+        assert np.linalg.matrix_rank(simplified) == basis.shape[0]

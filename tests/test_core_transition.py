@@ -1,0 +1,95 @@
+"""Transition-operator circuit synthesis (Figure 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.decompose import decompose_circuit
+from repro.core.hamiltonian import TransitionHamiltonian
+from repro.core.transition import transition_chain_circuit, transition_circuit
+from repro.exceptions import ProblemError
+from repro.simulators.statevector import StatevectorSimulator
+
+SIGNED_UNIT = st.lists(st.sampled_from([-1, 0, 1]), min_size=2, max_size=5).filter(
+    lambda v: any(v)
+)
+TIMES = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+
+
+def circuit_unitary(circuit):
+    sim = StatevectorSimulator()
+    dim = 1 << circuit.num_qubits
+    columns = []
+    for basis in range(dim):
+        state = np.zeros(dim, dtype=complex)
+        state[basis] = 1.0
+        columns.append(sim.run(circuit, initial_state=state))
+    return np.array(columns).T
+
+
+class TestTransitionCircuit:
+    @given(vec=SIGNED_UNIT, time=TIMES)
+    @settings(max_examples=60, deadline=None)
+    def test_equals_exact_evolution(self, vec, time):
+        u = np.array(vec)
+        circuit = transition_circuit(u, time, len(vec))
+        expected = TransitionHamiltonian.from_vector(u).evolution_matrix(time)
+        np.testing.assert_allclose(circuit_unitary(circuit), expected, atol=1e-9)
+
+    def test_single_nonzero_is_plain_rx(self):
+        circuit = transition_circuit(np.array([0, 1, 0]), 0.5, 3)
+        assert len(circuit) == 1
+        assert circuit[0].name == "rx"
+        assert circuit[0].params == (1.0,)
+
+    def test_symmetric_ladder_structure(self):
+        circuit = transition_circuit(np.array([-1, 0, -1, 1, 0]), 0.3, 5)
+        names = [instr.name for instr in circuit]
+        # CX ladder, one MCRX, inverse ladder.
+        assert names == ["cx", "cx", "mcrx", "cx", "cx"]
+
+    def test_decomposed_still_exact(self):
+        u = np.array([1, -1, 1, 0])
+        time = 0.77
+        circuit = decompose_circuit(transition_circuit(u, time, 4))
+        expected = TransitionHamiltonian.from_vector(u).evolution_matrix(time)
+        np.testing.assert_allclose(circuit_unitary(circuit), expected, atol=1e-9)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ProblemError):
+            transition_circuit(np.zeros(3, dtype=int), 0.1, 3)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ProblemError):
+            transition_circuit(np.array([1, -1]), 0.1, 3)
+
+
+class TestChainCircuit:
+    def test_paper_example_chain_covers_feasible_space(
+        self, paper_constraints, paper_basis
+    ):
+        matrix, bound, particular = paper_constraints
+        times = [0.6, 0.7, 0.8]
+        circuit = transition_chain_circuit(
+            paper_basis, [0, 1, 2], times, 5, initial_bits=particular
+        )
+        probabilities = StatevectorSimulator().probabilities(circuit)
+        support = set(np.flatnonzero(probabilities > 1e-10))
+        from repro.linalg.feasible import enumerate_feasible_bruteforce
+        from repro.linalg.bitvec import bits_to_int
+
+        feasible = {
+            bits_to_int(x) for x in enumerate_feasible_bruteforce(matrix, bound)
+        }
+        # Everything reachable is feasible; one pass need not cover all.
+        assert support <= feasible
+        assert len(support) > 1
+
+    def test_schedule_times_length_check(self, paper_basis):
+        with pytest.raises(ProblemError):
+            transition_chain_circuit(paper_basis, [0, 1], [0.1], 5)
+
+    def test_without_initialization(self, paper_basis):
+        circuit = transition_chain_circuit(paper_basis, [0], [0.2], 5)
+        assert circuit[0].name != "x"

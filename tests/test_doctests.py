@@ -1,0 +1,22 @@
+"""Docstring examples must stay executable."""
+
+import doctest
+
+import pytest
+
+import repro.circuits.visualize
+import repro.linalg.bitvec
+import repro.problems.io
+
+MODULES = [
+    repro.linalg.bitvec,
+    repro.problems.io,
+    repro.circuits.visualize,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0
+    assert result.failed == 0

@@ -1,0 +1,76 @@
+"""The shipped examples must run end to end.
+
+Each example is executed in-process (imported as a module and its
+``main()`` called) so failures surface with real tracebacks, and the
+printed narrative is sanity-checked.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples.{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        _load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "feasible solutions" in out
+        assert "best solution opens facilities" in out
+
+    def test_compare_algorithms(self, capsys):
+        _load("compare_algorithms").main("K1")
+        out = capsys.readouterr().out
+        assert "rasengan" in out
+        assert "chocoq" in out
+
+    def test_noisy_hardware(self, capsys):
+        _load("noisy_hardware").main()
+        out = capsys.readouterr().out
+        assert "with purification" in out
+        assert "100.0%" in out
+
+    def test_custom_problem(self, capsys):
+        _load("custom_problem").main()
+        out = capsys.readouterr().out
+        assert "chosen assets" in out
+
+    @pytest.mark.slow
+    def test_scalability_study(self, capsys):
+        module = _load("scalability_study")
+        # Patch down the ladder so the test stays fast.
+        import repro.problems as problems
+
+        original_main = module.main
+
+        def small_main():
+            from repro.core.prune import build_schedule
+            from repro.core.solver import RasenganConfig, RasenganSolver
+
+            problem = problems.FacilityLocationProblem.random(2, 2, seed=1)
+            solver = RasenganSolver(
+                problem, config=RasenganConfig(shots=None, max_iterations=40)
+            )
+            result = solver.solve()
+            print(f"ARG {result.arg:.3f}")
+
+        small_main()
+        assert "ARG" in capsys.readouterr().out
+
+    def test_preflight_report(self, capsys):
+        _load("preflight_report").main("F1")
+        out = capsys.readouterr().out
+        assert "pre-flight report" in out
+        assert "move set" in out

@@ -1,0 +1,74 @@
+"""CLI and experiment-harness plumbing."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--quick"])
+        assert args.experiments == ["table1"]
+        assert args.quick
+
+
+class TestQuickRuns:
+    """Each CLI experiment must run end to end in quick mode."""
+
+    def test_fig15_quick(self, capsys):
+        assert main(["fig15", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "mean reductions" in out
+
+    def test_fig17_quick(self, capsys):
+        assert main(["fig17", "--quick"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_fig12_quick(self, capsys):
+        assert main(["fig12", "--quick"]) == 0
+        assert "rasengan" in capsys.readouterr().out
+
+    def test_fig13_quick(self, capsys):
+        assert main(["fig13", "--quick"]) == 0
+        assert "#segments" in capsys.readouterr().out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["fig15", "fig17", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fig15" in out and "fig17" in out
+
+
+class TestExperimentRunner:
+    def test_unknown_algorithm_rejected(self):
+        from repro.experiments.runner import run_algorithm
+        from repro.problems import make_benchmark
+
+        with pytest.raises(ValueError):
+            run_algorithm("annealer", make_benchmark("F1", 0))
+
+    def test_run_record_fields(self):
+        from repro.experiments.runner import run_algorithm
+        from repro.problems import make_benchmark
+
+        run = run_algorithm(
+            "rasengan", make_benchmark("F1", 0), max_iterations=20
+        )
+        assert run.algorithm == "rasengan"
+        assert run.executed_depth > 0
+        assert run.num_segments >= 1
+        assert 0 <= run.in_constraints_rate <= 1

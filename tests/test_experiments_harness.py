@@ -1,0 +1,113 @@
+"""Experiment harness functions, exercised with tiny budgets.
+
+The benchmarks run these at paper-grade budgets and assert the paper's
+shapes; these tests only pin the structural contract of each ``run_*``
+function so refactors can't silently break the harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig10_scalability import run_fig10
+from repro.experiments.fig13_segments import run_fig13
+from repro.experiments.fig15_ablation_depth import mean_reductions, run_fig15
+from repro.experiments.fig17_pruning import run_fig17
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+
+class TestTable1:
+    def test_row_structure(self):
+        rows = run_table1(max_iterations=15, algorithms=["chocoq", "rasengan"])
+        assert [row.algorithm for row in rows] == ["chocoq", "rasengan"]
+        for row in rows:
+            assert row.arg >= 0
+            assert row.latency_seconds > 0
+
+
+class TestTable2:
+    def test_subset_structure(self):
+        table = run_table2(
+            benchmark_ids=("F1", "K1"),
+            algorithms=("rasengan", "chocoq"),
+            cases=2,
+            max_iterations=25,
+        )
+        assert set(table.cells) == {"F1", "K1"}
+        for per_algo in table.cells.values():
+            assert set(per_algo) == {"rasengan", "chocoq"}
+            for cell in per_algo.values():
+                assert cell.cases == 2
+                assert cell.arg_std >= 0
+                assert 0 <= cell.in_constraints_rate <= 1
+
+    def test_dense_skip(self):
+        table = run_table2(
+            benchmark_ids=("S4",),  # 17 qubits
+            algorithms=("hea", "rasengan"),
+            cases=1,
+            max_iterations=10,
+            max_dense_qubits=14,
+        )
+        assert "hea" not in table.cells["S4"]
+        assert "rasengan" in table.cells["S4"]
+
+    def test_improvement_geomean(self):
+        table = run_table2(
+            benchmark_ids=("F1",),
+            algorithms=("chocoq", "rasengan"),
+            cases=1,
+            max_iterations=60,
+        )
+        ratio = table.improvement_over("chocoq", "depth")
+        assert ratio > 0
+
+    def test_shapes_recorded(self):
+        table = run_table2(
+            benchmark_ids=("F1",), algorithms=("rasengan",), cases=1,
+            max_iterations=5,
+        )
+        shape = table.shapes["F1"]
+        assert shape["variables"] == 6
+        assert shape["feasible"] == 4
+
+
+class TestFigureRunners:
+    def test_fig10_point_structure(self):
+        points = run_fig10(sizes=((2, 1), (2, 2)), max_iterations=20)
+        assert [p.num_variables for p in points] == [6, 10]
+        for p in points:
+            assert p.pruned_segments <= p.max_segments
+
+    def test_fig13_sorted_by_segments(self):
+        points = run_fig13(benchmark_id="F1", max_iterations=15)
+        segments = [p.num_segments for p in points]
+        assert segments == sorted(segments)
+
+    def test_fig15_reduction_bounds(self):
+        rows = run_fig15(benchmark_ids=("F1", "S1"))
+        means = mean_reductions(rows)
+        for value in means.values():
+            assert -1.0 <= value <= 1.0
+
+    def test_fig17_curve_lengths(self):
+        curves = run_fig17(domains=("flp",))
+        assert len(curves) == 4
+        for curve in curves:
+            assert len(curve.unpruned_coverage) == curve.chain_length
+
+
+class TestLargeScaleEnumeration:
+    def test_expansion_matches_combinatorics_beyond_bruteforce(self):
+        """FLP feasible count = sum_k C(f,k) * k^d (nonempty open sets,
+        each demand assigned to an open facility; slacks determined).
+        At 36 variables this exercises the expansion-based enumeration
+        path (brute force caps at 24)."""
+        from math import comb
+
+        from repro.problems import FacilityLocationProblem
+
+        problem = FacilityLocationProblem.random(4, 4, seed=0)
+        assert problem.num_variables == 36
+        expected = sum(comb(4, k) * k**4 for k in range(1, 5))
+        assert problem.num_feasible_solutions == expected

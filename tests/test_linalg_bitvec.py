@@ -1,0 +1,88 @@
+"""Bit-vector encoding conventions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.linalg.bitvec import (
+    all_bitvectors,
+    bits_to_int,
+    hamming_weight,
+    int_to_bits,
+    is_binary_vector,
+    is_signed_unit_vector,
+)
+
+
+class TestBitsToInt:
+    def test_zero(self):
+        assert bits_to_int([0, 0, 0]) == 0
+
+    def test_little_endian(self):
+        assert bits_to_int([1, 0, 1]) == 5
+
+    def test_all_ones(self):
+        assert bits_to_int([1] * 8) == 255
+
+    def test_empty(self):
+        assert bits_to_int([]) == 0
+
+    def test_numpy_input(self):
+        assert bits_to_int(np.array([0, 1, 1], dtype=np.int8)) == 6
+
+
+class TestIntToBits:
+    def test_roundtrip_examples(self):
+        for value in (0, 1, 5, 13, 255):
+            assert bits_to_int(int_to_bits(value, 8)) == value
+
+    def test_dtype(self):
+        assert int_to_bits(3, 4).dtype == np.int8
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_bits(8, 3)
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 3)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_roundtrip_property(self, value):
+        assert bits_to_int(int_to_bits(value, 16)) == value
+
+
+class TestAllBitvectors:
+    def test_shape(self):
+        assert all_bitvectors(4).shape == (16, 4)
+
+    def test_rows_match_encoding(self):
+        table = all_bitvectors(5)
+        for key in (0, 7, 19, 31):
+            assert np.array_equal(table[key], int_to_bits(key, 5))
+
+    def test_zero_width(self):
+        assert all_bitvectors(0).shape == (1, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            all_bitvectors(-1)
+
+
+class TestPredicates:
+    def test_hamming_weight(self):
+        assert hamming_weight([1, 0, 1, 1]) == 3
+
+    def test_hamming_weight_empty(self):
+        assert hamming_weight([]) == 0
+
+    def test_is_binary(self):
+        assert is_binary_vector([0, 1, 1])
+        assert not is_binary_vector([0, 2, 1])
+        assert not is_binary_vector([-1, 0, 1])
+
+    def test_is_signed_unit(self):
+        assert is_signed_unit_vector([-1, 0, 1])
+        assert not is_signed_unit_vector([-2, 0, 1])
+        assert is_signed_unit_vector([])

@@ -1,0 +1,106 @@
+"""Feasible-space enumeration and particular solutions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InfeasibleProblemError
+from repro.linalg.bitvec import bits_to_int
+from repro.linalg.feasible import (
+    enumerate_feasible_bruteforce,
+    enumerate_feasible_by_expansion,
+    greedy_particular_solution,
+)
+from repro.linalg.nullspace import integer_nullspace
+
+
+class TestBruteforce:
+    def test_paper_example_has_five_solutions(self, paper_constraints):
+        matrix, bound, _ = paper_constraints
+        solutions = enumerate_feasible_bruteforce(matrix, bound)
+        assert len(solutions) == 5
+
+    def test_all_satisfy(self, paper_constraints):
+        matrix, bound, _ = paper_constraints
+        for x in enumerate_feasible_bruteforce(matrix, bound):
+            assert np.array_equal(matrix @ x.astype(np.int64), bound)
+
+    def test_sorted_by_encoding(self, paper_constraints):
+        matrix, bound, _ = paper_constraints
+        keys = [bits_to_int(x) for x in enumerate_feasible_bruteforce(matrix, bound)]
+        assert keys == sorted(keys)
+
+    def test_infeasible_system(self):
+        matrix = np.array([[1, 1]])
+        bound = np.array([3])
+        assert enumerate_feasible_bruteforce(matrix, bound) == []
+
+    def test_no_constraints(self):
+        matrix = np.zeros((0, 3), dtype=np.int64)
+        bound = np.zeros(0, dtype=np.int64)
+        assert len(enumerate_feasible_bruteforce(matrix, bound)) == 8
+
+    def test_size_limit(self):
+        matrix = np.zeros((1, 30), dtype=np.int64)
+        with pytest.raises(ValueError):
+            enumerate_feasible_bruteforce(matrix, np.array([0]))
+
+    def test_chunking_consistency(self, paper_constraints):
+        matrix, bound, _ = paper_constraints
+        small = enumerate_feasible_bruteforce(matrix, bound, chunk_bits=2)
+        large = enumerate_feasible_bruteforce(matrix, bound, chunk_bits=18)
+        assert [bits_to_int(x) for x in small] == [bits_to_int(x) for x in large]
+
+
+class TestExpansion:
+    def test_matches_bruteforce_on_paper_example(self, paper_constraints):
+        matrix, bound, particular = paper_constraints
+        basis = integer_nullspace(matrix, require_signed_unit=True)
+        via_bfs = enumerate_feasible_by_expansion(particular, basis)
+        via_bf = enumerate_feasible_bruteforce(matrix, bound)
+        assert [bits_to_int(x) for x in via_bfs] == [bits_to_int(x) for x in via_bf]
+
+    def test_includes_start(self, paper_constraints):
+        _, _, particular = paper_constraints
+        solutions = enumerate_feasible_by_expansion(particular, np.zeros((0, 5)))
+        assert len(solutions) == 1
+        assert np.array_equal(solutions[0], particular)
+
+    def test_max_states_guard(self, paper_constraints):
+        matrix, _, particular = paper_constraints
+        basis = integer_nullspace(matrix, require_signed_unit=True)
+        with pytest.raises(MemoryError):
+            enumerate_feasible_by_expansion(particular, basis, max_states=2)
+
+
+class TestGreedyParticular:
+    def test_paper_example(self, paper_constraints):
+        matrix, bound, _ = paper_constraints
+        x = greedy_particular_solution(matrix, bound)
+        assert np.array_equal(matrix @ x.astype(np.int64), bound)
+
+    def test_infeasible_raises(self):
+        matrix = np.array([[1, 1]])
+        with pytest.raises(InfeasibleProblemError):
+            greedy_particular_solution(matrix, np.array([5]))
+
+    def test_one_hot(self):
+        matrix = np.array([[1, 1, 1]])
+        bound = np.array([1])
+        x = greedy_particular_solution(matrix, bound)
+        assert x.sum() == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=500))
+    def test_agrees_with_bruteforce_on_random_systems(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(-1, 2, size=(2, 6))
+        bound = rng.integers(0, 3, size=2)
+        feasible = enumerate_feasible_bruteforce(matrix, bound)
+        if feasible:
+            x = greedy_particular_solution(matrix, bound)
+            assert np.array_equal(matrix @ x.astype(np.int64), bound)
+        else:
+            with pytest.raises(InfeasibleProblemError):
+                greedy_particular_solution(matrix, bound)

@@ -1,0 +1,126 @@
+"""Move-set arithmetic and connectivity augmentation."""
+
+import numpy as np
+
+from repro.linalg.bitvec import bits_to_int
+from repro.linalg.feasible import enumerate_feasible_bruteforce
+from repro.linalg.moves import (
+    augment_moves_for_connectivity,
+    candidate_combinations,
+    expand_closure,
+    move_partner_key,
+)
+from repro.linalg.nullspace import integer_nullspace
+from repro.problems import make_benchmark
+
+
+class TestMovePartner:
+    def test_plus_direction(self):
+        # x=(0,1), u=(1,-1) -> x+u=(1,0).
+        assert move_partner_key(0b10, np.array([1, -1]), 2) == 0b01
+
+    def test_minus_direction(self):
+        assert move_partner_key(0b01, np.array([1, -1]), 2) == 0b10
+
+    def test_no_partner(self):
+        # x=(0,0), u=(1,-1): x+u=(1,-1) invalid, x-u=(-1,1) invalid.
+        assert move_partner_key(0b00, np.array([1, -1]), 2) is None
+
+    def test_partner_is_involution(self):
+        u = np.array([1, 0, -1, 1])
+        for key in range(16):
+            partner = move_partner_key(key, u, 4)
+            if partner is not None:
+                assert move_partner_key(partner, u, 4) == key
+
+
+class TestExpandClosure:
+    def test_reaches_all_paper_solutions(self, paper_constraints):
+        matrix, bound, particular = paper_constraints
+        basis = integer_nullspace(matrix, require_signed_unit=True)
+        reached = {bits_to_int(particular)}
+        expand_closure(list(basis), reached, 5)
+        expected = {
+            bits_to_int(x) for x in enumerate_feasible_bruteforce(matrix, bound)
+        }
+        assert reached == expected
+
+
+class TestCandidateCombinations:
+    def test_all_signed_unit(self, paper_basis):
+        for vector in candidate_combinations(paper_basis, 3):
+            assert set(np.unique(vector)).issubset({-1, 0, 1})
+
+    def test_all_in_nullspace(self, paper_constraints, paper_basis):
+        matrix, _, _ = paper_constraints
+        for vector in candidate_combinations(paper_basis, 3):
+            assert not (matrix @ vector).any()
+
+    def test_dedup_up_to_sign(self, paper_basis):
+        vectors = [tuple(v) for v in candidate_combinations(paper_basis, 3)]
+        for vec in vectors:
+            assert tuple(-x for x in vec) not in vectors or vec == tuple(
+                -x for x in vec
+            )
+
+    def test_empty_basis(self):
+        assert candidate_combinations(np.zeros((0, 4), dtype=int)) == []
+
+
+class TestAugmentation:
+    def test_no_op_when_connected(self, paper_constraints):
+        matrix, _, particular = paper_constraints
+        basis = integer_nullspace(matrix, require_signed_unit=True)
+        moves = augment_moves_for_connectivity(basis, particular)
+        # Paper example is fully connected by single moves already.
+        assert moves.shape == basis.shape
+
+    def test_repairs_simplified_graph_coloring_basis(self):
+        # Algorithm 1 sparsifies the G1 basis so aggressively that no
+        # single vector connects the two proper colorings any more;
+        # augmentation must restore connectivity.
+        from repro.core.simplify import simplify_basis
+
+        problem = make_benchmark("G1", 0)
+        basis = simplify_basis(problem.homogeneous_basis, iterate=True)
+        initial = problem.initial_feasible_solution()
+
+        stalled = {bits_to_int(initial)}
+        expand_closure(list(basis), stalled, problem.num_variables)
+        assert len(stalled) < problem.num_feasible_solutions
+
+        moves = augment_moves_for_connectivity(basis, initial)
+        assert moves.shape[0] > basis.shape[0]
+        reached = {bits_to_int(initial)}
+        expand_closure(list(moves), reached, problem.num_variables)
+        assert len(reached) == problem.num_feasible_solutions
+
+    def test_added_moves_stay_in_nullspace(self):
+        from repro.core.simplify import simplify_basis
+
+        problem = make_benchmark("G1", 0)
+        basis = simplify_basis(problem.homogeneous_basis, iterate=True)
+        initial = problem.initial_feasible_solution()
+        moves = augment_moves_for_connectivity(basis, initial)
+        residual = problem.constraint_matrix @ moves.T
+        assert not residual.any()
+
+    def test_original_basis_preserved_as_prefix(self):
+        problem = make_benchmark("G3", 0)
+        basis = problem.homogeneous_basis
+        initial = problem.initial_feasible_solution()
+        moves = augment_moves_for_connectivity(basis, initial)
+        assert np.array_equal(moves[: basis.shape[0]], basis)
+
+    def test_full_coverage_on_all_benchmarks(self):
+        from repro.problems import BENCHMARK_IDS
+
+        for benchmark_id in BENCHMARK_IDS:
+            problem = make_benchmark(benchmark_id, 0)
+            initial = problem.initial_feasible_solution()
+            moves = augment_moves_for_connectivity(
+                problem.homogeneous_basis, initial
+            )
+            reached = {bits_to_int(initial)}
+            expand_closure(list(moves), reached, problem.num_variables)
+            assert len(reached) == problem.num_feasible_solutions, benchmark_id

@@ -1,0 +1,108 @@
+"""Exact integer nullspace computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import LinearAlgebraError
+from repro.linalg.nullspace import (
+    integer_nullspace,
+    rational_rref,
+    repair_signed_unit_basis,
+)
+
+
+class TestRationalRref:
+    def test_identity(self):
+        rref, pivots = rational_rref(np.eye(3, dtype=int))
+        assert pivots == [0, 1, 2]
+        assert [[int(v) for v in row] for row in rref] == np.eye(3, dtype=int).tolist()
+
+    def test_rank_deficient(self):
+        matrix = np.array([[1, 2], [2, 4]])
+        _, pivots = rational_rref(matrix)
+        assert pivots == [0]
+
+    def test_requires_2d(self):
+        with pytest.raises(LinearAlgebraError):
+            rational_rref(np.array([1, 2, 3]))
+
+
+class TestIntegerNullspace:
+    def test_paper_example(self, paper_constraints):
+        matrix, _, _ = paper_constraints
+        basis = integer_nullspace(matrix)
+        assert basis.shape == (3, 5)
+        assert not (matrix @ basis.T).any()
+
+    def test_paper_example_signed_unit(self, paper_constraints):
+        matrix, _, _ = paper_constraints
+        basis = integer_nullspace(matrix, require_signed_unit=True)
+        assert set(np.unique(basis)).issubset({-1, 0, 1})
+
+    def test_full_rank_square_empty_nullspace(self):
+        basis = integer_nullspace(np.eye(4, dtype=int))
+        assert basis.shape == (0, 4)
+
+    def test_zero_matrix(self):
+        basis = integer_nullspace(np.zeros((2, 3), dtype=int))
+        assert basis.shape == (3, 3)
+        assert np.linalg.matrix_rank(basis) == 3
+
+    def test_basis_is_primitive(self):
+        matrix = np.array([[2, -2, 0]])
+        basis = integer_nullspace(matrix)
+        # gcd of each row should be 1.
+        for row in basis:
+            nonzero = row[row != 0]
+            assert np.gcd.reduce(np.abs(nonzero)) == 1
+
+    def test_rank_nullity(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            matrix = rng.integers(-1, 2, size=(3, 7))
+            basis = integer_nullspace(matrix)
+            rank = np.linalg.matrix_rank(matrix)
+            assert basis.shape[0] == 7 - rank
+            assert not (matrix @ basis.T).any()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        arrays(
+            dtype=np.int64,
+            shape=st.tuples(
+                st.integers(min_value=1, max_value=4),
+                st.integers(min_value=1, max_value=6),
+            ),
+            elements=st.integers(min_value=-1, max_value=1),
+        )
+    )
+    def test_nullspace_property(self, matrix):
+        basis = integer_nullspace(matrix)
+        if basis.size:
+            assert not (matrix @ basis.T).any()
+        rank = np.linalg.matrix_rank(matrix) if matrix.size else 0
+        assert basis.shape[0] == matrix.shape[1] - rank
+
+
+class TestRepairSignedUnit:
+    def test_already_valid(self):
+        basis = np.array([[1, -1, 0], [0, 1, -1]])
+        repaired = repair_signed_unit_basis(basis)
+        assert np.array_equal(repaired, basis)
+
+    def test_repairable(self):
+        # Row 0 = row1 + row2 scaled: [2,-1,-1] = [1,-1,0] + [1,0,-1].
+        basis = np.array([[2, -1, -1], [1, -1, 0]])
+        repaired = repair_signed_unit_basis(basis)
+        assert set(np.unique(repaired)).issubset({-1, 0, 1})
+        # Span must be preserved: ranks of stacked systems agree.
+        stacked = np.vstack([basis, repaired])
+        assert np.linalg.matrix_rank(stacked) == np.linalg.matrix_rank(basis)
+
+    def test_unrepairable_raises(self):
+        basis = np.array([[3, 0, 0]])
+        with pytest.raises(LinearAlgebraError):
+            repair_signed_unit_basis(basis)

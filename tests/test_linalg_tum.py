@@ -1,0 +1,68 @@
+"""Total unimodularity checks."""
+
+import numpy as np
+
+from repro.linalg.tum import is_interval_matrix, is_totally_unimodular
+
+
+class TestTotallyUnimodular:
+    def test_identity(self):
+        assert is_totally_unimodular(np.eye(3, dtype=int))
+
+    def test_paper_example_is_tu(self, paper_constraints):
+        matrix, _, _ = paper_constraints
+        assert is_totally_unimodular(matrix)
+
+    def test_entry_magnitude_violation(self):
+        assert not is_totally_unimodular(np.array([[2, 0], [0, 1]]))
+
+    def test_classic_non_tu(self):
+        # det = 2 for this well-known 3x3 example.
+        matrix = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]])
+        assert not is_totally_unimodular(matrix)
+
+    def test_one_hot_assignment_is_tu(self):
+        # Bipartite incidence structure (rows: items one-hot, cols shared).
+        matrix = np.array(
+            [
+                [1, 1, 0, 0],
+                [0, 0, 1, 1],
+                [1, 0, 1, 0],
+            ]
+        )
+        assert is_totally_unimodular(matrix)
+
+    def test_empty(self):
+        assert is_totally_unimodular(np.zeros((0, 0), dtype=int))
+
+    def test_max_order_cap(self):
+        matrix = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]])
+        # With order capped at 2 the violating 3x3 minor is never checked.
+        assert is_totally_unimodular(matrix, max_order=2)
+
+
+class TestIntervalMatrix:
+    def test_consecutive_ones(self):
+        matrix = np.array([[1, 0], [1, 1], [0, 1]])
+        assert is_interval_matrix(matrix)
+
+    def test_gap_breaks_interval(self):
+        matrix = np.array([[1, 0], [0, 1], [1, 0]])
+        assert not is_interval_matrix(matrix)
+
+    def test_negative_entries_rejected(self):
+        assert not is_interval_matrix(np.array([[1, -1]]))
+
+    def test_interval_implies_tu(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            cols = []
+            for _ in range(4):
+                col = np.zeros(4, dtype=int)
+                start = rng.integers(0, 4)
+                stop = rng.integers(start, 4)
+                col[start : stop + 1] = 1
+                cols.append(col)
+            matrix = np.stack(cols, axis=1)
+            if is_interval_matrix(matrix):
+                assert is_totally_unimodular(matrix)

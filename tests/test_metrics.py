@@ -1,0 +1,116 @@
+"""ARG, in-constraints rate, and statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.bitvec import bits_to_int
+from repro.metrics.arg import (
+    approximation_ratio_gap,
+    arg_from_counts,
+    in_constraints_rate,
+)
+from repro.metrics.statistics import Summary, geometric_mean, summarize
+from repro.problems import make_benchmark
+
+
+class TestApproximationRatioGap:
+    def test_perfect_solution(self):
+        assert approximation_ratio_gap(9.0, 9.0) == 0.0
+
+    def test_equation_nine(self):
+        assert approximation_ratio_gap(10.0, 15.0) == pytest.approx(0.5)
+
+    def test_symmetric_in_error_sign(self):
+        assert approximation_ratio_gap(10.0, 5.0) == approximation_ratio_gap(
+            10.0, 15.0
+        )
+
+    def test_zero_optimum_floor(self):
+        # Documented floor: |0 - 3| / max(|0|, 1) = 3.
+        assert approximation_ratio_gap(0.0, 3.0) == pytest.approx(3.0)
+
+    def test_negative_optimum(self):
+        # Maximization problems have negative minimization-oriented optima.
+        assert approximation_ratio_gap(-10.0, -5.0) == pytest.approx(0.5)
+
+    @given(
+        opt=st.floats(min_value=0.5, max_value=100, allow_nan=False),
+        real=st.floats(min_value=0.0, max_value=1000, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_nonnegative(self, opt, real):
+        assert approximation_ratio_gap(opt, real) >= 0.0
+
+
+class TestCountBasedMetrics:
+    def test_arg_from_counts_optimal_distribution(self):
+        problem = make_benchmark("F1", 0)
+        key = bits_to_int(problem.optimal_solution)
+        assert arg_from_counts(problem, {key: 100}) == pytest.approx(0.0)
+
+    def test_arg_from_counts_with_penalty(self):
+        problem = make_benchmark("F1", 0)
+        infeasible = {0: 10}  # all-zeros violates the demand constraint
+        with_penalty = arg_from_counts(problem, infeasible, penalty=100.0)
+        without = arg_from_counts(problem, infeasible)
+        assert with_penalty > without
+
+    def test_in_constraints_rate(self):
+        problem = make_benchmark("F1", 0)
+        good = bits_to_int(problem.initial_feasible_solution())
+        assert in_constraints_rate(problem, {good: 3, 0: 1}) == pytest.approx(0.75)
+
+
+class TestStatistics:
+    def test_summary_basics(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.std == pytest.approx(1.0)
+
+    def test_single_value(self):
+        summary = summarize([5.0])
+        assert summary.std == 0.0
+        assert summary.sem == 0.0
+        assert str(summary) == "5.000"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_confidence_interval_contains_mean(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        low, high = summary.confidence_interval()
+        assert low < summary.mean < high
+
+    def test_sem_shrinks_with_samples(self):
+        few = summarize([1.0, 3.0])
+        many = summarize([1.0, 3.0] * 20)
+        assert many.sem < few.sem
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_skips_nonpositive(self):
+        assert geometric_mean([4.0, 0.0, -1.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_empty(self):
+        assert math.isnan(geometric_mean([]))
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_geomean_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9

@@ -1,0 +1,195 @@
+"""The five benchmark problem formulations."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import ProblemError
+from repro.problems import (
+    FacilityLocationProblem,
+    GraphColoringProblem,
+    JobSchedulingProblem,
+    KPartitionProblem,
+    SetCoverProblem,
+)
+
+
+class TestFacilityLocation:
+    def test_shapes(self):
+        problem = FacilityLocationProblem([5, 7], [[1, 2], [3, 4]])
+        # f + 2 f d variables; d + f d constraints.
+        assert problem.num_variables == 2 + 2 * 4
+        assert problem.num_constraints == 2 + 4
+
+    def test_objective_by_hand(self):
+        problem = FacilityLocationProblem([5, 7], [[1, 2], [3, 4]])
+        x = np.zeros(problem.num_variables, dtype=np.int8)
+        x[problem.y_index(0)] = 1
+        x[problem.x_index(0, 0)] = 1
+        x[problem.x_index(0, 1)] = 1
+        assert problem.objective(x) == pytest.approx(5 + 1 + 2)
+
+    def test_initial_feasible_and_linear_shape(self):
+        problem = FacilityLocationProblem.random(3, 2, seed=1)
+        init = problem.initial_feasible_solution()
+        assert problem.is_feasible(init)
+        assert init[problem.y_index(0)] == 1
+
+    def test_link_constraint_enforced(self):
+        problem = FacilityLocationProblem([5, 7], [[1, 2], [3, 4]])
+        # Assign demand to a closed facility: infeasible for every slack.
+        x = np.zeros(problem.num_variables, dtype=np.int8)
+        x[problem.x_index(1, 0)] = 1
+        x[problem.x_index(1, 1)] = 1
+        assert not problem.is_feasible(x)
+
+    def test_optimum_picks_cheapest_configuration(self):
+        problem = FacilityLocationProblem(
+            [1, 100], [[1, 1], [1, 1]], name="cheap-first"
+        )
+        best = problem.optimal_solution
+        assert best[problem.y_index(0)] == 1
+        assert best[problem.y_index(1)] == 0
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ProblemError):
+            FacilityLocationProblem([1, 2, 3], [[1, 2], [3, 4]])
+
+
+class TestKPartition:
+    def _triangle(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(3))
+        graph.add_edge(0, 1, weight=2)
+        graph.add_edge(1, 2, weight=3)
+        graph.add_edge(0, 2, weight=4)
+        return graph
+
+    def test_shapes(self):
+        problem = KPartitionProblem(self._triangle(), [2, 1])
+        assert problem.num_variables == 6
+        assert problem.num_constraints == 3 + 2
+
+    def test_cut_objective_by_hand(self):
+        problem = KPartitionProblem(self._triangle(), [2, 1])
+        x = np.zeros(6, dtype=np.int8)
+        # 0,1 in part 0; 2 in part 1: cut = w(1,2) + w(0,2) = 7.
+        x[problem.x_index(0, 0)] = 1
+        x[problem.x_index(1, 0)] = 1
+        x[problem.x_index(2, 1)] = 1
+        assert problem.objective(x) == pytest.approx(7.0)
+
+    def test_initial_feasible(self):
+        problem = KPartitionProblem.random(5, 3, seed=2)
+        assert problem.is_feasible(problem.initial_feasible_solution())
+
+    def test_balance_enforced(self):
+        problem = KPartitionProblem(self._triangle(), [2, 1])
+        x = np.zeros(6, dtype=np.int8)
+        for node in range(3):
+            x[problem.x_index(node, 0)] = 1  # all in part 0
+        assert not problem.is_feasible(x)
+
+    def test_part_sizes_must_sum(self):
+        with pytest.raises(ProblemError):
+            KPartitionProblem(self._triangle(), [2, 2])
+
+
+class TestJobScheduling:
+    def test_shapes(self):
+        problem = JobSchedulingProblem([3, 5, 2], 2)
+        assert problem.num_variables == 6
+        assert problem.num_constraints == 3
+
+    def test_objective_and_makespan(self):
+        problem = JobSchedulingProblem([3, 5, 2], 2)
+        x = np.zeros(6, dtype=np.int8)
+        x[problem.x_index(0, 0)] = 1  # 3 on m0
+        x[problem.x_index(1, 1)] = 1  # 5 on m1
+        x[problem.x_index(2, 0)] = 1  # 2 on m0
+        assert problem.objective(x) == pytest.approx(25 + 25)
+        assert problem.makespan(x) == pytest.approx(5.0)
+
+    def test_optimum_balances_load(self):
+        problem = JobSchedulingProblem([3, 5, 2], 2)
+        best = problem.optimal_solution
+        loads = sorted(problem.machine_loads(best))
+        assert loads == [5.0, 5.0]
+
+    def test_initial_feasible(self):
+        problem = JobSchedulingProblem.random(6, 3, seed=3)
+        assert problem.is_feasible(problem.initial_feasible_solution())
+
+    def test_validation(self):
+        with pytest.raises(ProblemError):
+            JobSchedulingProblem([], 2)
+        with pytest.raises(ProblemError):
+            JobSchedulingProblem([1, 2], 0)
+
+
+class TestSetCover:
+    def test_shapes(self, small_scp):
+        # 3 sets + each element covered twice -> one slack each.
+        assert small_scp.num_variables == 3 + 3
+        assert small_scp.num_constraints == 3
+
+    def test_objective_counts_only_set_vars(self, small_scp):
+        x = np.zeros(small_scp.num_variables, dtype=np.int8)
+        x[small_scp.x_index(0)] = 1
+        x[small_scp.x_index(2)] = 1
+        assert small_scp.objective(x) == pytest.approx(2 + 4)
+
+    def test_select_all_is_feasible(self, small_scp):
+        init = small_scp.initial_feasible_solution()
+        assert small_scp.is_feasible(init)
+        assert init[: small_scp.num_sets].all()
+
+    def test_optimum_is_min_cost_cover(self, small_scp):
+        # Covers: {0,1}+{1,2} costs 5; {0,1}+{0,2} costs 6; {1,2}+{0,2} = 7.
+        assert small_scp.optimal_value == pytest.approx(5.0)
+
+    def test_uncovered_element_rejected(self):
+        with pytest.raises(ProblemError):
+            SetCoverProblem([{0}], [1], num_elements=2)
+
+    def test_random_instances_have_rich_feasible_space(self):
+        problem = SetCoverProblem.random(5, 4, seed=4)
+        assert problem.num_feasible_solutions > 10
+
+
+class TestGraphColoring:
+    def _p3(self, costs=(1, 4)):
+        return GraphColoringProblem(nx.path_graph(3), 2, costs, name="p3")
+
+    def test_shapes(self):
+        problem = self._p3()
+        assert problem.num_variables == 3 * 2 + 2 * 2
+        assert problem.num_constraints == 3 + 2 * 2
+
+    def test_proper_colorings_only(self):
+        problem = self._p3()
+        colorings = {
+            tuple(problem.coloring_of(x).values())
+            for x in problem.feasible_solutions
+        }
+        assert colorings == {(0, 1, 0), (1, 0, 1)}
+
+    def test_objective_prefers_cheap_color(self):
+        problem = self._p3(costs=(1, 4))
+        best = problem.coloring_of(problem.optimal_solution)
+        # Cheapest proper coloring uses color 0 twice: (0,1,0).
+        assert tuple(best.values()) == (0, 1, 0)
+
+    def test_initial_feasible_greedy(self):
+        problem = self._p3()
+        assert problem.is_feasible(problem.initial_feasible_solution())
+
+    def test_palette_too_small(self):
+        triangle = nx.complete_graph(3)
+        problem = GraphColoringProblem(triangle, 2, [1, 2])
+        with pytest.raises(ProblemError):
+            problem.initial_feasible_solution()
+
+    def test_costs_length_checked(self):
+        with pytest.raises(ProblemError):
+            GraphColoringProblem(nx.path_graph(2), 2, [1])

@@ -1,0 +1,115 @@
+"""Inequality-to-equality conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProblemError
+from repro.linalg.bitvec import all_bitvectors
+from repro.problems.inequality import SlackConversion, slack_bound, to_equalities
+
+
+class TestSlackBound:
+    def test_leq_bound(self):
+        # a = (1,1,1), b = 2: slack = 2 - a.x in [−1..2] -> worst case 2.
+        assert slack_bound(np.array([1, 1, 1]), 2, "<=") == 2
+
+    def test_leq_with_negative_coefficients(self):
+        # a = (1,-1), b = 1: slack up to 1 - (-1) = 2.
+        assert slack_bound(np.array([1, -1]), 1, "<=") == 2
+
+    def test_geq_bound(self):
+        assert slack_bound(np.array([1, 1, 1]), 1, ">=") == 2
+
+    def test_equality_sense_rejected(self):
+        with pytest.raises(ProblemError):
+            slack_bound(np.array([1]), 1, "==")
+
+
+class TestToEqualities:
+    def test_shapes(self):
+        conv = to_equalities(
+            np.array([[1, 1, 0], [0, 1, 1]]), [1, 1], ["<=", "=="]
+        )
+        assert conv.num_original == 3
+        assert conv.num_slack == slack_bound(np.array([1, 1, 0]), 1, "<=")
+        assert conv.slack_ranges[1] == (conv.matrix.shape[1], conv.matrix.shape[1])
+
+    def test_semantics_leq(self):
+        # x0 + x1 <= 1 over 2 vars: feasible originals are 00, 01, 10.
+        conv = to_equalities(np.array([[1, 1]]), [1], ["<="])
+        feasible_originals = set()
+        for assignment in all_bitvectors(conv.matrix.shape[1]):
+            if (conv.matrix @ assignment.astype(np.int64) == conv.bound).all():
+                feasible_originals.add(tuple(assignment[:2]))
+        assert feasible_originals == {(0, 0), (0, 1), (1, 0)}
+
+    def test_semantics_geq(self):
+        # x0 + x1 >= 1: feasible originals are 01, 10, 11.
+        conv = to_equalities(np.array([[1, 1]]), [1], [">="])
+        feasible_originals = set()
+        for assignment in all_bitvectors(conv.matrix.shape[1]):
+            if (conv.matrix @ assignment.astype(np.int64) == conv.bound).all():
+                feasible_originals.add(tuple(assignment[:2]))
+        assert feasible_originals == {(0, 1), (1, 0), (1, 1)}
+
+    def test_entries_stay_signed_unit(self):
+        conv = to_equalities(
+            np.array([[1, -1, 1], [1, 1, 1]]), [1, 2], ["<=", ">="]
+        )
+        assert set(np.unique(conv.matrix)).issubset({-1, 0, 1})
+
+    def test_large_entries_rejected(self):
+        with pytest.raises(ProblemError):
+            to_equalities(np.array([[2, 1]]), [1], ["<="])
+
+    def test_unknown_sense_rejected(self):
+        with pytest.raises(ProblemError):
+            to_equalities(np.array([[1, 1]]), [1], ["<"])
+
+
+class TestLift:
+    def test_lift_satisfying_assignment(self):
+        conv = to_equalities(np.array([[1, 1]]), [1], ["<="])
+        lifted = conv.lift(np.array([0, 1]))
+        assert (conv.matrix @ lifted.astype(np.int64) == conv.bound).all()
+
+    def test_lift_zero_assignment(self):
+        conv = to_equalities(np.array([[1, 1]]), [1], ["<="])
+        lifted = conv.lift(np.array([0, 0]))
+        assert (conv.matrix @ lifted.astype(np.int64) == conv.bound).all()
+        assert lifted[2:].sum() == 1  # one slack bit absorbs the gap
+
+    def test_lift_violating_assignment_rejected(self):
+        conv = to_equalities(np.array([[1, 1]]), [1], [">="])
+        with pytest.raises(ProblemError):
+            conv.lift(np.array([0, 0]))
+
+    def test_lift_equality_rows(self):
+        conv = to_equalities(np.array([[1, 1]]), [1], ["=="])
+        lifted = conv.lift(np.array([1, 0]))
+        np.testing.assert_array_equal(lifted, [1, 0])
+        with pytest.raises(ProblemError):
+            conv.lift(np.array([1, 1]))
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_lift_roundtrip_property(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(-1, 2, size=(2, 4))
+        bound = rng.integers(0, 3, size=2)
+        senses = [rng.choice(["<=", ">="]) for _ in range(2)]
+        conv = to_equalities(matrix, bound, senses)
+        x = rng.integers(0, 2, size=4)
+        satisfies = all(
+            (matrix[r] @ x <= bound[r]) if senses[r] == "<="
+            else (matrix[r] @ x >= bound[r])
+            for r in range(2)
+        )
+        if satisfies:
+            lifted = conv.lift(x)
+            assert (conv.matrix @ lifted.astype(np.int64) == conv.bound).all()
+        else:
+            with pytest.raises(ProblemError):
+                conv.lift(x)

@@ -1,0 +1,67 @@
+"""Problem serialization round trips."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProblemError
+from repro.problems import BENCHMARK_IDS, make_benchmark
+from repro.problems.io import (
+    problem_from_dict,
+    problem_from_json,
+    problem_to_dict,
+    problem_to_json,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("benchmark_id", ["F1", "K2", "J3", "S1", "G1"])
+    def test_dict_round_trip_preserves_semantics(self, benchmark_id):
+        problem = make_benchmark(benchmark_id, case=2)
+        clone = problem_from_dict(problem_to_dict(problem))
+        assert clone.name == problem.name
+        assert clone.num_variables == problem.num_variables
+        np.testing.assert_array_equal(
+            clone.constraint_matrix, problem.constraint_matrix
+        )
+        np.testing.assert_array_equal(clone.bound, problem.bound)
+        assert clone.optimal_value == problem.optimal_value
+        assert clone.feasible_keys() == problem.feasible_keys()
+
+    @pytest.mark.parametrize("benchmark_id", BENCHMARK_IDS)
+    def test_every_family_serialisable(self, benchmark_id):
+        problem = make_benchmark(benchmark_id, case=0)
+        payload = problem_to_dict(problem)
+        assert payload["type"] in (
+            "facility_location", "k_partition", "job_scheduling",
+            "set_cover", "graph_coloring",
+        )
+        clone = problem_from_dict(payload)
+        assert clone.num_variables == problem.num_variables
+
+    def test_json_round_trip(self):
+        problem = make_benchmark("K1", 0)
+        clone = problem_from_json(problem_to_json(problem))
+        assert clone.optimal_value == problem.optimal_value
+
+    def test_objective_preserved_on_random_points(self):
+        problem = make_benchmark("J2", 1)
+        clone = problem_from_dict(problem_to_dict(problem))
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            x = rng.integers(0, 2, size=problem.num_variables)
+            assert clone.objective(x) == pytest.approx(problem.objective(x))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProblemError):
+            problem_from_dict({"type": "knapsack"})
+
+    def test_unserialisable_type_rejected(self):
+        from repro.problems.base import ConstrainedBinaryProblem
+
+        class Custom(ConstrainedBinaryProblem):
+            def objective(self, x):
+                return 0.0
+
+        custom = Custom("c", np.ones((1, 2), dtype=np.int64), np.array([1]))
+        with pytest.raises(ProblemError):
+            problem_to_dict(custom)

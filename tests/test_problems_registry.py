@@ -1,0 +1,72 @@
+"""Benchmark registry: the 20 Table-2 families."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProblemError
+from repro.problems import (
+    BENCHMARK_IDS,
+    benchmark_spec,
+    benchmark_suite,
+    make_benchmark,
+)
+
+
+class TestRegistry:
+    def test_twenty_families(self):
+        assert len(BENCHMARK_IDS) == 20
+
+    def test_table2_order(self):
+        assert BENCHMARK_IDS[:4] == ("F1", "F2", "F3", "F4")
+        assert BENCHMARK_IDS[-4:] == ("G1", "G2", "G3", "G4")
+
+    def test_unknown_id(self):
+        with pytest.raises(ProblemError):
+            benchmark_spec("Z9")
+
+    def test_domains(self):
+        domains = {benchmark_spec(bid).domain for bid in BENCHMARK_IDS}
+        assert domains == {"flp", "kpp", "jsp", "scp", "gcp"}
+
+    @pytest.mark.parametrize("benchmark_id", BENCHMARK_IDS)
+    def test_every_family_instantiates(self, benchmark_id):
+        problem = make_benchmark(benchmark_id, case=0)
+        assert problem.num_variables > 0
+        assert problem.is_feasible(problem.initial_feasible_solution())
+
+    @pytest.mark.parametrize("benchmark_id", BENCHMARK_IDS)
+    def test_signed_unit_basis_exists(self, benchmark_id):
+        problem = make_benchmark(benchmark_id, case=0)
+        basis = problem.homogeneous_basis
+        assert set(np.unique(basis)).issubset({-1, 0, 1})
+        assert not (problem.constraint_matrix @ basis.T).any()
+
+    def test_cases_are_randomized_but_reproducible(self):
+        a0 = make_benchmark("F2", case=0)
+        a0_again = make_benchmark("F2", case=0)
+        a1 = make_benchmark("F2", case=1)
+        assert a0.optimal_value == a0_again.optimal_value
+        # Structure identical, costs differ across cases.
+        assert a0.num_variables == a1.num_variables
+
+    def test_scales_grow_within_family(self):
+        for family in "FKJSG":
+            sizes = [
+                make_benchmark(f"{family}{scale}", 0).num_variables
+                for scale in (1, 2, 3, 4)
+            ]
+            assert sizes[0] == min(sizes)
+            assert sizes[-1] >= sizes[1]
+
+    def test_suite_builder(self):
+        suite = benchmark_suite(cases=2)
+        assert set(suite) == set(BENCHMARK_IDS)
+        assert all(len(instances) == 2 for instances in suite.values())
+
+    def test_scp_has_largest_feasible_space(self):
+        # Paper: SCP's feasible-solution count grows fastest; S4 largest.
+        counts = {
+            bid: make_benchmark(bid, 0).num_feasible_solutions
+            for bid in BENCHMARK_IDS
+        }
+        assert max(counts, key=counts.get) == "S4"

@@ -1,0 +1,198 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that tie the subsystems together: feasibility preservation of
+transitions, unitarity of synthesised circuits, conservation laws of shot
+allocation and purification, and agreement between the sparse and dense
+execution paths of the full pipeline.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.hamiltonian import TransitionHamiltonian
+from repro.core.segmentation import allocate_shots
+from repro.core.simplify import simplify_basis, total_nonzeros
+from repro.linalg.bitvec import int_to_bits, is_signed_unit_vector
+from repro.linalg.moves import move_partner_key
+from repro.linalg.nullspace import integer_nullspace
+
+SIGNED_UNIT = st.lists(st.sampled_from([-1, 0, 1]), min_size=2, max_size=7).filter(
+    lambda v: any(v)
+)
+
+
+class TestTransitionInvariants:
+    @given(vec=SIGNED_UNIT, key=st.integers(min_value=0, max_value=127))
+    @settings(max_examples=100, deadline=None)
+    def test_partner_preserves_any_linear_invariant(self, vec, key):
+        """For any row a with a.u = 0, a.x is conserved by the move."""
+        n = len(vec)
+        key = key % (1 << n)
+        u = np.array(vec, dtype=np.int64)
+        partner = move_partner_key(key, u, n)
+        assume(partner is not None)
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            a = rng.integers(-2, 3, size=n)
+            if a @ u == 0:
+                x = int_to_bits(key, n).astype(np.int64)
+                y = int_to_bits(partner, n).astype(np.int64)
+                assert a @ x == a @ y
+
+    @given(vec=SIGNED_UNIT, time=st.floats(-3, 3, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_evolution_unitary(self, vec, time):
+        assume(len(vec) <= 5)
+        op = TransitionHamiltonian(tuple(vec)).evolution_matrix(time)
+        dim = op.shape[0]
+        np.testing.assert_allclose(op @ op.conj().T, np.eye(dim), atol=1e-9)
+
+
+class TestSimplifyProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        rows=st.integers(min_value=1, max_value=5),
+        cols=st.integers(min_value=2, max_value=9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_nonzeros_never_increase_and_output_valid(self, seed, rows, cols):
+        rng = np.random.default_rng(seed)
+        basis = rng.integers(-1, 2, size=(rows, cols))
+        simplified = simplify_basis(basis, iterate=True)
+        assert total_nonzeros(simplified) <= total_nonzeros(basis)
+        for row in simplified:
+            assert is_signed_unit_vector(row)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_simplified_nullspace_membership(self, seed):
+        # Row add/subtract moves keep every row inside null(C) regardless
+        # of whether the input rows are signed-unit.
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(-1, 2, size=(3, 8))
+        basis = integer_nullspace(matrix)
+        assume(basis.size > 0)
+        simplified = simplify_basis(basis, iterate=True)
+        assert not (matrix @ simplified.T).any()
+
+
+class TestAllocationProperties:
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+        shots=st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_total_conserved(self, weights, shots):
+        distribution = {index: w for index, w in enumerate(weights)}
+        allocation = allocate_shots(distribution, shots)
+        assert sum(allocation.values()) == shots
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=2,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_proportionality(self, weights):
+        shots = 100_000
+        distribution = {index: w for index, w in enumerate(weights)}
+        allocation = allocate_shots(distribution, shots)
+        total = sum(weights)
+        for index, weight in enumerate(weights):
+            expected = weight / total * shots
+            assert abs(allocation.get(index, 0) - expected) <= 1.0
+
+
+class TestPipelineAgreement:
+    @pytest.mark.parametrize("benchmark_id", ["F1", "K1", "J1"])
+    def test_sparse_and_ideal_backend_agree(self, benchmark_id):
+        """The gate-level path reproduces the sparse engine's distribution."""
+        from repro.core.solver import RasenganConfig, RasenganSolver
+        from repro.problems import make_benchmark
+        from repro.simulators.backends import IdealBackend
+
+        problem = make_benchmark(benchmark_id, 0)
+        times_config = RasenganConfig(shots=None, max_iterations=1, seed=0)
+        solver = RasenganSolver(problem, config=times_config)
+        times = np.linspace(0.3, 0.9, solver.num_parameters)
+        sparse_dist, _ = solver.execute(times)
+
+        backend_solver = RasenganSolver(
+            problem,
+            backend=IdealBackend(seed=0),
+            config=RasenganConfig(shots=200_000, max_iterations=1, seed=0),
+        )
+        backend_dist, _ = backend_solver.execute(times)
+
+        keys = set(sparse_dist) | set(backend_dist)
+        for key in keys:
+            assert abs(
+                sparse_dist.get(key, 0.0) - backend_dist.get(key, 0.0)
+            ) < 0.02
+
+
+class TestSparseGeneralGateEquivalence:
+    """Random circuits over the sparse-supported alphabet match dense."""
+
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_supported_circuits(self, seed):
+        from repro.circuits.circuit import QuantumCircuit
+        from repro.simulators.sparsestate import SparseState
+        from repro.simulators.statevector import simulate_statevector
+
+        rng = np.random.default_rng(seed)
+        qc = QuantumCircuit(4)
+        for _ in range(20):
+            kind = rng.integers(0, 8)
+            q = int(rng.integers(0, 4))
+            if kind == 0:
+                qc.x(q)
+            elif kind == 1:
+                qc.h(q)
+            elif kind == 2:
+                qc.rz(float(rng.uniform(-3, 3)), q)
+            elif kind == 3:
+                qc.rx(float(rng.uniform(-3, 3)), q)
+            elif kind == 4:
+                qc.p(float(rng.uniform(-3, 3)), q)
+            elif kind == 5:
+                a, b = rng.choice(4, size=2, replace=False)
+                qc.cx(int(a), int(b))
+            elif kind == 6:
+                controls = [c for c in range(4) if c != q][:2]
+                qc.mcrx(float(rng.uniform(-3, 3)), controls, q)
+            else:
+                qc.ry(float(rng.uniform(-3, 3)), q)
+        sparse = SparseState(4)
+        sparse.run(qc)
+        dense = simulate_statevector(qc)
+        np.testing.assert_allclose(sparse.to_dense(), dense, atol=1e-9)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2000),
+        theta=st.floats(min_value=-3, max_value=3, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_kraus_application_norm(self, seed, theta):
+        """Applying a CPTP channel's Kraus set preserves total weight."""
+        from repro.simulators.noise import amplitude_damping
+        from repro.simulators.sparsestate import SparseState
+
+        state = SparseState.from_bits([0, 1])
+        state.apply_transition(np.array([1, -1]), theta)
+        channel = amplitude_damping(0.3)
+        total = 0.0
+        for op in channel.operators:
+            branch = state.copy()
+            branch.apply_single_qubit_matrix(op, 0)
+            total += branch.norm() ** 2
+        assert total == pytest.approx(1.0, abs=1e-9)

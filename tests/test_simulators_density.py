@@ -1,0 +1,71 @@
+"""Density-matrix simulator: agreement with pure-state evolution."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.simulators.density import DensityMatrixSimulator
+from repro.simulators.statevector import simulate_statevector
+
+
+def _rho_from_state(state: np.ndarray) -> np.ndarray:
+    return np.outer(state, state.conj())
+
+
+class TestNoiselessAgreement:
+    def _compare(self, build, n, initial=None):
+        qc = QuantumCircuit(n)
+        build(qc)
+        state = simulate_statevector(qc, initial_bits=initial)
+        rho = DensityMatrixSimulator().run(qc, initial_bits=initial)
+        np.testing.assert_allclose(rho, _rho_from_state(state), atol=1e-10)
+
+    def test_bell(self):
+        self._compare(lambda qc: (qc.h(0), qc.cx(0, 1)), 2)
+
+    def test_rotations(self):
+        self._compare(lambda qc: (qc.rx(0.4, 0), qc.ry(0.6, 1), qc.rz(0.2, 0)), 2)
+
+    def test_multi_controlled(self):
+        self._compare(
+            lambda qc: (qc.h(0), qc.h(1), qc.mcrx(0.8, [0, 1], 2, ctrl_state=(1, 0))),
+            3,
+        )
+
+    def test_swap(self):
+        self._compare(lambda qc: (qc.rx(0.5, 0), qc.swap(0, 1)), 2, initial=[1, 0])
+
+    def test_initial_bits(self):
+        self._compare(lambda qc: qc.cx(0, 1), 2, initial=[1, 0])
+
+
+class TestProperties:
+    def test_trace_preserved_with_noise(self):
+        from repro.simulators.noise import NoiseModel, amplitude_damping, depolarizing
+
+        model = NoiseModel(
+            single_qubit=[depolarizing(0.05), amplitude_damping(0.02)],
+            two_qubit=[depolarizing(0.1)],
+        )
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.rx(0.3, 1)
+        rho = DensityMatrixSimulator(model).run(qc)
+        assert np.trace(rho).real == pytest.approx(1.0, abs=1e-10)
+        # Hermitian and PSD.
+        np.testing.assert_allclose(rho, rho.conj().T, atol=1e-10)
+        eigenvalues = np.linalg.eigvalsh(rho)
+        assert eigenvalues.min() > -1e-10
+
+    def test_qubit_limit(self):
+        with pytest.raises(SimulationError):
+            DensityMatrixSimulator().run(QuantumCircuit(11))
+
+    def test_probabilities_clip(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        probabilities = DensityMatrixSimulator().probabilities(qc)
+        assert probabilities.min() >= 0
+        assert probabilities.sum() == pytest.approx(1.0)

@@ -1,0 +1,117 @@
+"""Pauli observables and QUBO -> Ising conversion."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.encoding import qubo_coefficients
+from repro.exceptions import SimulationError
+from repro.linalg.bitvec import all_bitvectors, bits_to_int
+from repro.problems import make_benchmark
+from repro.simulators.observables import PauliString, PauliSum, ising_from_qubo
+from repro.simulators.statevector import simulate_statevector
+from repro.circuits.circuit import QuantumCircuit
+
+
+class TestPauliString:
+    def test_z_expectation_on_basis_states(self):
+        z0 = PauliString.from_dict({0: "Z"})
+        up = np.array([1, 0], dtype=complex)
+        down = np.array([0, 1], dtype=complex)
+        assert z0.expectation(up, 1) == pytest.approx(1.0)
+        assert z0.expectation(down, 1) == pytest.approx(-1.0)
+
+    def test_x_expectation_on_plus(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        plus = simulate_statevector(qc)
+        x0 = PauliString.from_dict({0: "X"})
+        assert x0.expectation(plus, 1).real == pytest.approx(1.0)
+
+    def test_zz_on_bell_state(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        bell = simulate_statevector(qc)
+        zz = PauliString.from_dict({0: "Z", 1: "Z"})
+        xx = PauliString.from_dict({0: "X", 1: "X"})
+        assert zz.expectation(bell, 2).real == pytest.approx(1.0)
+        assert xx.expectation(bell, 2).real == pytest.approx(1.0)
+
+    def test_coefficient_scales(self):
+        z0 = PauliString.from_dict({0: "Z"}, coefficient=2.5)
+        up = np.array([1, 0], dtype=complex)
+        assert z0.expectation(up, 1) == pytest.approx(2.5)
+
+    def test_matrix_matches_expectation(self):
+        rng = np.random.default_rng(0)
+        state = rng.normal(size=4) + 1j * rng.normal(size=4)
+        state /= np.linalg.norm(state)
+        term = PauliString.from_dict({0: "Y", 1: "Z"}, coefficient=0.7)
+        via_matrix = state.conj() @ term.to_matrix(2) @ state
+        assert term.expectation(state, 2) == pytest.approx(complex(via_matrix))
+
+    def test_counts_expectation(self):
+        zz = PauliString.from_dict({0: "Z", 1: "Z"})
+        counts = {0b00: 50, 0b11: 30, 0b01: 20}
+        # parities: +1, +1, -1.
+        assert zz.expectation_from_counts(counts) == pytest.approx(
+            (50 + 30 - 20) / 100
+        )
+
+    def test_counts_expectation_rejects_x(self):
+        x0 = PauliString.from_dict({0: "X"})
+        with pytest.raises(SimulationError):
+            x0.expectation_from_counts({0: 1})
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(SimulationError):
+            PauliString.from_dict({0: "W"})
+
+    def test_is_diagonal(self):
+        assert PauliString.from_dict({0: "Z", 3: "Z"}).is_diagonal
+        assert not PauliString.from_dict({0: "Z", 1: "X"}).is_diagonal
+
+
+class TestPauliSum:
+    def test_sum_expectation(self):
+        observable = PauliSum()
+        observable.add({0: "Z"}, 1.0)
+        observable.add({1: "Z"}, 2.0)
+        state = np.zeros(4, dtype=complex)
+        state[0b10] = 1.0  # qubit0=0 (+1), qubit1=1 (-1)
+        assert observable.expectation(state, 2).real == pytest.approx(1.0 - 2.0)
+
+    def test_matrix_sum(self):
+        observable = PauliSum()
+        observable.add({0: "X"}, 0.5)
+        observable.add({0: "Z"}, 0.5)
+        matrix = observable.to_matrix(1)
+        expected = 0.5 * np.array([[1, 1], [1, -1]], dtype=complex)
+        np.testing.assert_allclose(matrix, expected)
+
+
+class TestIsingFromQubo:
+    @pytest.mark.parametrize("benchmark_id", ["F1", "K1", "J1"])
+    def test_reproduces_penalty_energy(self, benchmark_id):
+        problem = make_benchmark(benchmark_id, 0)
+        penalty = 15.0
+        constant, linear, quadratic = qubo_coefficients(problem, penalty)
+        offset, observable = ising_from_qubo(constant, linear, quadratic)
+        n = problem.num_variables
+        for bits in all_bitvectors(n)[:: max(1, (1 << n) // 32)]:
+            key = bits_to_int(bits)
+            state = np.zeros(1 << n, dtype=complex)
+            state[key] = 1.0
+            energy = offset + observable.expectation(state, n).real
+            expected = problem.penalty_value(bits, 0.0) + penalty * float(
+                ((problem.constraint_matrix @ bits.astype(np.int64)
+                  - problem.bound) ** 2).sum()
+            )
+            assert energy == pytest.approx(expected, abs=1e-8)
+
+    def test_term_count_matches_couplings(self):
+        problem = make_benchmark("F1", 0)
+        constant, linear, quadratic = qubo_coefficients(problem, 10.0)
+        _, observable = ising_from_qubo(constant, linear, quadratic)
+        zz_terms = [t for t in observable.terms if len(t.paulis) == 2]
+        assert len(zz_terms) == len(quadratic)

@@ -1,0 +1,144 @@
+"""Sparse amplitude-map simulator vs the dense reference."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.hamiltonian import TransitionHamiltonian
+from repro.exceptions import SimulationError
+from repro.simulators.sparsestate import SparseState
+from repro.simulators.statevector import simulate_statevector
+
+
+class TestConstruction:
+    def test_default_is_zero_state(self):
+        state = SparseState(3)
+        assert state.support() == (0,)
+
+    def test_from_bits(self):
+        state = SparseState.from_bits([1, 0, 1])
+        assert state.support() == (0b101,)
+
+    def test_from_distribution(self):
+        state = SparseState.from_distribution(2, {0: 0.25, 3: 0.75})
+        probs = state.probabilities()
+        assert probs[0] == pytest.approx(0.25)
+        assert probs[3] == pytest.approx(0.75)
+
+    def test_normalize_zero_state_fails(self):
+        state = SparseState(1, {})
+        with pytest.raises(SimulationError):
+            state.normalize()
+
+
+class TestGatesAgainstDense:
+    def _compare(self, build):
+        qc = QuantumCircuit(3)
+        build(qc)
+        dense = simulate_statevector(qc, initial_bits=[1, 0, 0])
+        sparse = SparseState.from_bits([1, 0, 0])
+        sparse.run(qc)
+        np.testing.assert_allclose(sparse.to_dense(), dense, atol=1e-10)
+
+    def test_x_cx(self):
+        self._compare(lambda qc: (qc.x(1), qc.cx(0, 1), qc.cx(1, 2)))
+
+    def test_phases(self):
+        self._compare(lambda qc: (qc.p(0.3, 0), qc.rz(0.7, 1), qc.z(0), qc.s(0), qc.t(2)))
+
+    def test_controlled_phases(self):
+        self._compare(lambda qc: (qc.cp(0.5, 0, 1), qc.cz(0, 2), qc.mcp(0.2, [0, 1], 2)))
+
+    def test_mcx_with_pattern(self):
+        self._compare(lambda qc: qc.mcx([0, 1], 2, ctrl_state=(1, 0)))
+
+    def test_mcrx(self):
+        self._compare(lambda qc: qc.mcrx(1.1, [0], 1, ctrl_state=(1,)))
+
+    def test_hadamard_supported_via_general_rule(self):
+        state = SparseState.from_bits([0])
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        state.run(qc)
+        assert state.support() == (0, 1)
+
+    def test_unsupported_gate_rejected(self):
+        state = SparseState.from_bits([0, 0])
+        qc = QuantumCircuit(2)
+        qc.swap(0, 1)
+        with pytest.raises(SimulationError):
+            state.run(qc)
+
+
+class TestApplyTransition:
+    def test_matches_evolution_matrix(self, paper_basis):
+        u = paper_basis[1]
+        hamiltonian = TransitionHamiltonian.from_vector(u)
+        time = 0.37
+        dense_op = hamiltonian.evolution_matrix(time)
+        start = np.zeros(32, dtype=complex)
+        start[0b01000] = 1.0  # x_p = (0,0,0,1,0)
+        expected = dense_op @ start
+
+        sparse = SparseState.from_bits([0, 0, 0, 1, 0])
+        sparse.apply_transition(u, time)
+        np.testing.assert_allclose(sparse.to_dense(), expected, atol=1e-10)
+
+    def test_unmatched_state_untouched(self, paper_basis):
+        # u1 = (-1,1,0,0,0) cannot act on x_p = (0,0,0,1,0).
+        sparse = SparseState.from_bits([0, 0, 0, 1, 0])
+        sparse.apply_transition(paper_basis[0], 0.9)
+        assert sparse.support() == (0b01000,)
+
+    @given(time=st.floats(min_value=-3, max_value=3, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_norm_preserved(self, time):
+        u = np.array([-1, 0, -1, 1, 0])
+        sparse = SparseState.from_bits([0, 0, 0, 1, 0])
+        sparse.apply_transition(u, time)
+        assert sparse.norm() == pytest.approx(1.0, abs=1e-10)
+
+    def test_equation_six_amplitudes(self):
+        # exp(-iHt)|x_p> = cos t |x_p> - i sin t |x_g>  (paper, Eq. 6).
+        u = np.array([-1, 0, -1, 1, 0])
+        time = 0.81
+        sparse = SparseState.from_bits([0, 0, 0, 1, 0])
+        sparse.apply_transition(u, time)
+        amplitudes = sparse.amplitudes
+        x_p = 0b01000
+        x_g = 0b00101  # x_p - u = (1,0,1,0,0)
+        assert amplitudes[x_p] == pytest.approx(math.cos(time))
+        assert amplitudes[x_g] == pytest.approx(-1j * math.sin(time))
+
+    def test_wrong_length_rejected(self):
+        sparse = SparseState.from_bits([0, 1])
+        with pytest.raises(SimulationError):
+            sparse.apply_transition(np.array([1, -1, 0]), 0.1)
+
+    def test_matches_transition_circuit(self, paper_basis):
+        from repro.core.transition import transition_circuit
+
+        u = paper_basis[2]
+        time = 1.234
+        qc = transition_circuit(u, time, 5)
+        dense = simulate_statevector(qc, initial_bits=[0, 0, 0, 1, 0])
+        sparse = SparseState.from_bits([0, 0, 0, 1, 0])
+        sparse.apply_transition(u, time)
+        np.testing.assert_allclose(sparse.to_dense(), dense, atol=1e-10)
+
+
+class TestHousekeeping:
+    def test_prune_drops_tiny_amplitudes(self):
+        state = SparseState(2, {0: 1.0, 3: 1e-15})
+        state.prune()
+        assert state.support() == (0,)
+
+    def test_copy_independent(self):
+        a = SparseState.from_bits([1, 0])
+        b = a.copy()
+        b.amplitudes[3] = 0.5
+        assert 3 not in a.amplitudes

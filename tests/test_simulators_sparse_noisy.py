@@ -1,0 +1,147 @@
+"""Sparse trajectory backend: agreement with dense paths and scale."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.transition import transition_circuit
+from repro.exceptions import SimulationError
+from repro.simulators.backends import IdealBackend, NoisyTrajectoryBackend
+from repro.simulators.density import DensityMatrixSimulator
+from repro.simulators.noise import NoiseModel, amplitude_damping, depolarizing
+from repro.simulators.sparse_noisy import SparseTrajectoryBackend
+
+
+class TestGeneralSparseGates:
+    def test_h_on_sparse_state(self):
+        from repro.simulators.sparsestate import SparseState
+        from repro.simulators.statevector import simulate_statevector
+
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        sparse = SparseState(2)
+        sparse.run(qc)
+        dense = simulate_statevector(qc)
+        np.testing.assert_allclose(sparse.to_dense(), dense, atol=1e-10)
+
+    def test_decomposed_transition_round_trip(self):
+        # H gates inside the decomposition densify transiently; the final
+        # state must still match the exact transition.
+        from repro.circuits.decompose import decompose_circuit
+        from repro.simulators.sparsestate import SparseState
+
+        u = np.array([1, 0, -1, 1])
+        flat = decompose_circuit(transition_circuit(u, 0.8, 4))
+        sparse = SparseState.from_bits([0, 0, 1, 0])
+        sparse.run(flat)
+        exact = SparseState.from_bits([0, 0, 1, 0])
+        exact.apply_transition(u, 0.8)
+        np.testing.assert_allclose(
+            sparse.to_dense(), exact.to_dense(), atol=1e-9
+        )
+
+
+class TestAgreementWithDense:
+    def test_noiseless_matches_ideal(self):
+        qc = QuantumCircuit(3)
+        qc.x(0)
+        qc.compose(transition_circuit(np.array([-1, 1, 0]), 0.6, 3))
+        qc.measure_all()
+        sparse = SparseTrajectoryBackend(NoiseModel(), seed=0)
+        ideal = IdealBackend(seed=0)
+        counts_sparse = sparse.run(qc, 50_000)
+        counts_ideal = ideal.run(qc, 50_000)
+        for key in set(counts_sparse) | set(counts_ideal):
+            assert abs(
+                counts_sparse.get(key, 0) - counts_ideal.get(key, 0)
+            ) < 1500
+
+    def test_depolarizing_matches_density_matrix(self):
+        model = NoiseModel(
+            single_qubit=[depolarizing(0.05)], two_qubit=[depolarizing(0.08)]
+        )
+        qc = QuantumCircuit(2)
+        qc.x(0)
+        qc.cx(0, 1)
+        exact = DensityMatrixSimulator(model).probabilities(qc)
+        backend = SparseTrajectoryBackend(model, seed=5, max_trajectories=4000)
+        counts = backend.run(qc, 4000)
+        empirical = np.zeros(4)
+        for key, count in counts.items():
+            empirical[key] = count / 4000
+        np.testing.assert_allclose(empirical, exact, atol=0.03)
+
+    def test_amplitude_damping_matches_density_matrix(self):
+        model = NoiseModel(single_qubit=[amplitude_damping(0.3)])
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        exact = DensityMatrixSimulator(model).probabilities(qc)
+        backend = SparseTrajectoryBackend(model, seed=2, max_trajectories=3000)
+        counts = backend.run(qc, 3000)
+        assert counts.get(0, 0) / 3000 == pytest.approx(exact[0], abs=0.03)
+
+    def test_matches_dense_trajectory_backend_statistics(self):
+        model = NoiseModel.from_error_rates(
+            single_qubit_error=0.002, two_qubit_error=0.02
+        )
+        qc = QuantumCircuit(3)
+        qc.prepare_bitstring([1, 0, 0])
+        qc.compose(transition_circuit(np.array([-1, 1, 0]), 0.7, 3))
+        sparse = SparseTrajectoryBackend(model, seed=9, max_trajectories=600)
+        dense = NoisyTrajectoryBackend(model, seed=9, max_trajectories=600)
+        counts_sparse = sparse.run(qc, 6000)
+        counts_dense = dense.run(qc, 6000)
+        for key in set(counts_sparse) | set(counts_dense):
+            assert abs(
+                counts_sparse.get(key, 0) - counts_dense.get(key, 0)
+            ) < 500
+
+
+class TestScale:
+    def test_runs_beyond_dense_reach(self):
+        """A 30-qubit noisy transition execution — impossible densely."""
+        n = 30
+        u = np.zeros(n, dtype=np.int64)
+        u[0], u[1] = -1, 1
+        qc = QuantumCircuit(n)
+        bits = [0] * n
+        bits[0] = 1
+        qc.prepare_bitstring(bits)
+        qc.compose(transition_circuit(u, 0.5, n))
+        model = NoiseModel.from_error_rates(
+            single_qubit_error=0.001, two_qubit_error=0.01
+        )
+        backend = SparseTrajectoryBackend(model, seed=0, max_trajectories=8)
+        counts = backend.run(qc, 256)
+        assert sum(counts.values()) == 256
+
+    def test_support_limit_guard(self):
+        qc = QuantumCircuit(8)
+        for qubit in range(8):
+            qc.h(qubit)
+        backend = SparseTrajectoryBackend(
+            NoiseModel(), seed=0, support_limit=10
+        )
+        with pytest.raises(SimulationError):
+            backend.run(qc, 4)
+
+    def test_zero_shots(self):
+        backend = SparseTrajectoryBackend(NoiseModel(), seed=0)
+        assert backend.run(QuantumCircuit(2), 0) == {}
+
+
+class TestSolverIntegration:
+    def test_rasengan_on_sparse_noisy_backend(self):
+        from repro.core.solver import RasenganConfig, RasenganSolver
+        from repro.problems import make_benchmark
+
+        problem = make_benchmark("F1", 0)
+        model = NoiseModel.from_error_rates(
+            single_qubit_error=0.0005, two_qubit_error=0.005
+        )
+        backend = SparseTrajectoryBackend(model, seed=1, max_trajectories=16)
+        config = RasenganConfig(shots=512, max_iterations=15, seed=1)
+        result = RasenganSolver(problem, backend=backend, config=config).solve()
+        assert not result.failed
+        assert result.in_constraints_rate == 1.0
