@@ -3,19 +3,34 @@
 Every benchmark saves its formatted output under ``benchmarks/results/``
 so the regenerated tables/series survive the pytest run (and are the
 artifacts EXPERIMENTS.md quotes).
+
+Telemetry opt-in: set ``REPRO_BENCH_TELEMETRY=1`` to run every benchmark
+under an active telemetry collector and dump a per-test counter summary
+(circuit executions, shots, CX gates, sparse support, ...) plus a span
+tree to ``benchmarks/results/telemetry/<test>.txt`` — the measurement
+substrate for comparing perf work across PRs.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
+import re
 import warnings
 
 import pytest
 
+from repro import telemetry
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+TELEMETRY_DIR = RESULTS_DIR / "telemetry"
 
 # COBYLA emits a benign MAXFUN warning when iteration budgets are tiny.
 warnings.filterwarnings("ignore", message=".*MAXFUN.*")
+
+
+def _telemetry_requested() -> bool:
+    return os.environ.get("REPRO_BENCH_TELEMETRY", "") not in ("", "0")
 
 
 @pytest.fixture
@@ -29,3 +44,30 @@ def save_result():
         print(f"\n=== {name} ===\n{text}\n")
 
     return _save
+
+
+@pytest.fixture(autouse=True)
+def bench_telemetry(request):
+    """Optionally trace each benchmark and dump its counter summary.
+
+    No-op unless ``REPRO_BENCH_TELEMETRY`` is set, so default benchmark
+    timings are unaffected.
+    """
+    if not _telemetry_requested():
+        yield None
+        return
+    collector = telemetry.enable()
+    try:
+        yield collector
+    finally:
+        telemetry.disable()
+    TELEMETRY_DIR.mkdir(parents=True, exist_ok=True)
+    safe_name = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    report = (
+        f"=== telemetry: {request.node.nodeid} ===\n\n"
+        + telemetry.render_summary(collector)
+        + "\n\n"
+        + telemetry.render_tree(collector, max_children=4)
+        + "\n"
+    )
+    (TELEMETRY_DIR / f"{safe_name}.txt").write_text(report)

@@ -1,0 +1,65 @@
+"""Trace a Rasengan solve with the telemetry layer.
+
+Enables `repro.telemetry`, solves one small facility-location instance,
+and prints the resulting span tree (where the wall time went: basis
+construction, pruning, segmentation, per-segment execution) plus the
+counter summary (circuit executions, total shots, sparse-state support).
+Optionally exports the trace as JSONL for offline analysis.
+
+Run with:  python examples/trace_run.py [trace.jsonl]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import telemetry
+from repro.core.solver import RasenganConfig, RasenganSolver
+from repro.problems import FacilityLocationProblem
+
+
+def main(trace_out: str | None = None) -> None:
+    problem = FacilityLocationProblem(
+        open_costs=[4, 7],
+        assign_costs=[[1, 5], [3, 1]],
+        name="trace-flp",
+    )
+
+    # Everything inside the session records spans/counters; outside it the
+    # same instrumentation is a no-op.
+    with telemetry.session() as collector:
+        solver = RasenganSolver(
+            problem,
+            config=RasenganConfig(shots=256, max_iterations=30, seed=0),
+        )
+        result = solver.solve()
+
+    print(f"result: {result.summary()}")
+
+    print("\n--- span tree (wall time per pipeline phase) ---")
+    print(telemetry.render_tree(collector, max_children=4))
+
+    print("\n--- counter summary ---")
+    print(telemetry.render_summary(collector))
+
+    executions = collector.counter("circuits.executed")
+    iterations = collector.counter("optimizer.iterations")
+    print(
+        f"\nthe optimizer ran {iterations:.0f} objective evaluations, "
+        f"costing {executions:.0f} circuit executions and "
+        f"{collector.counter('shots.total'):.0f} shots"
+    )
+    peak = collector.histograms["sparse.amplitudes"].maximum
+    print(f"sparse engine peak support: {peak:.0f} amplitudes")
+
+    if trace_out:
+        telemetry.write_jsonl(collector, trace_out)
+        reloaded = telemetry.read_jsonl(trace_out)
+        print(
+            f"\ntrace written to {trace_out} "
+            f"({sum(1 for _ in reloaded.iter_spans())} spans round-tripped)"
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

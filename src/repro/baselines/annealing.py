@@ -28,6 +28,7 @@ from repro.linalg.bitvec import int_to_bits
 from repro.metrics.arg import approximation_ratio_gap
 from repro.problems.base import ConstrainedBinaryProblem
 from repro.simulators.statevector import apply_single_qubit
+from repro import telemetry
 
 
 @dataclass
@@ -82,6 +83,7 @@ class SimulatedAnnealing:
         history = [energy]
         ratio = (self.t_end / self.t_start) ** (1.0 / max(self.sweeps - 1, 1))
         temperature = self.t_start
+        telemetry.add("annealing.sweeps", self.sweeps)
         for _ in range(self.sweeps):
             for _ in range(n):
                 bit = int(self._rng.integers(0, n))
@@ -160,6 +162,8 @@ class QuantumAnnealer:
         return state
 
     def solve(self, shots: int = 1024) -> AnnealResult:
+        telemetry.add("annealing.trotter_steps", self.steps)
+        telemetry.add("shots.total", shots)
         state = self.final_state()
         probabilities = np.abs(state) ** 2
         n = self.problem.num_variables

@@ -24,6 +24,7 @@ from repro.metrics.arg import approximation_ratio_gap
 from repro.problems.base import ConstrainedBinaryProblem
 from repro.simulators.backends import Backend
 from repro.simulators.sampling import counts_from_probabilities
+from repro import telemetry
 
 
 @dataclass
@@ -103,9 +104,12 @@ class VariationalBaseline(abc.ABC):
     # ------------------------------------------------------------------
     def distribution(self, parameters: np.ndarray) -> Dict[int, float]:
         """Output distribution at ``parameters`` (fast or backend path)."""
+        telemetry.add("circuits.executed")
         if self.backend is not None:
             circuit = self.build_circuit(parameters)
-            counts = self.backend.run(circuit, self.shots or 1024)
+            shots = self.shots or 1024
+            telemetry.add("shots.total", shots)
+            counts = self.backend.run(circuit, shots)
             total = sum(counts.values())
             return {key: count / total for key, count in counts.items()}
         probabilities = np.abs(self.simulate(parameters)) ** 2
@@ -115,6 +119,7 @@ class VariationalBaseline(abc.ABC):
                 for key, p in enumerate(probabilities)
                 if p > 1e-12
             }
+        telemetry.add("shots.total", self.shots)
         counts = counts_from_probabilities(probabilities, self.shots, self._rng)
         return {key: count / self.shots for key, count in counts.items()}
 
@@ -133,14 +138,20 @@ class VariationalBaseline(abc.ABC):
         history: List[float] = []
 
         def loss(parameters: np.ndarray) -> float:
+            telemetry.add("optimizer.iterations")
             value = self.penalty_expectation(self.distribution(parameters))
             history.append(value)
             return value
 
-        best = minimize_cobyla(
-            loss, self.initial_parameters(), max_iterations=self.max_iterations
-        )
-        final = self.distribution(best)
+        with telemetry.span(
+            "baseline.solve",
+            algorithm=self.algorithm,
+            problem=self.problem.name,
+        ):
+            best = minimize_cobyla(
+                loss, self.initial_parameters(), max_iterations=self.max_iterations
+            )
+            final = self.distribution(best)
         expectation = self.penalty_expectation(final)
         n = self.problem.num_variables
         rate = sum(

@@ -14,6 +14,8 @@ from typing import Callable, Optional
 import numpy as np
 from scipy import optimize as sciopt
 
+from repro import telemetry
+
 
 def minimize_cobyla(
     loss: Callable[[np.ndarray], float],
@@ -25,12 +27,15 @@ def minimize_cobyla(
     x0 = np.asarray(x0, dtype=float)
     if x0.size == 0:
         return x0
-    outcome = sciopt.minimize(
-        loss,
-        x0,
-        method="COBYLA",
-        options={"maxiter": max_iterations, "rhobeg": rhobeg},
-    )
+    with telemetry.span(
+        "optimizer.cobyla", dimensions=int(x0.size), budget=max_iterations
+    ):
+        outcome = sciopt.minimize(
+            loss,
+            x0,
+            method="COBYLA",
+            options={"maxiter": max_iterations, "rhobeg": rhobeg},
+        )
     return np.asarray(outcome.x, dtype=float)
 
 
@@ -51,21 +56,25 @@ def minimize_spsa(
     x = np.asarray(x0, dtype=float).copy()
     if x.size == 0:
         return x
-    best_x = x.copy()
-    best_value = loss(x)
-    for k in range(max_iterations):
-        ak = a / (k + 1) ** 0.602
-        ck = c / (k + 1) ** 0.101
-        delta = rng.choice((-1.0, 1.0), size=x.shape)
-        plus = loss(x + ck * delta)
-        minus = loss(x - ck * delta)
-        gradient = (plus - minus) / (2.0 * ck) * delta
-        x = x - ak * gradient
-        value = min(plus, minus)
-        if value < best_value:
-            best_value = value
-            best_x = x.copy()
-    final = loss(x)
-    if final < best_value:
-        best_x = x
+    with telemetry.span(
+        "optimizer.spsa", dimensions=int(x.size), budget=max_iterations
+    ):
+        best_x = x.copy()
+        best_value = loss(x)
+        for k in range(max_iterations):
+            telemetry.add("optimizer.iterations")
+            ak = a / (k + 1) ** 0.602
+            ck = c / (k + 1) ** 0.101
+            delta = rng.choice((-1.0, 1.0), size=x.shape)
+            plus = loss(x + ck * delta)
+            minus = loss(x - ck * delta)
+            gradient = (plus - minus) / (2.0 * ck) * delta
+            x = x - ak * gradient
+            value = min(plus, minus)
+            if value < best_value:
+                best_value = value
+                best_x = x.copy()
+        final = loss(x)
+        if final < best_value:
+            best_x = x
     return best_x

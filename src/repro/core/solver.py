@@ -43,6 +43,7 @@ from repro.core.segmentation import (
 )
 from repro.core.simplify import simplify_basis
 from repro.core.transition import transition_chain_circuit
+from repro import telemetry
 from repro.exceptions import NoFeasibleStateError, SolverError
 from repro.linalg.bitvec import bits_to_int, int_to_bits
 from repro.linalg.moves import augment_moves_for_connectivity
@@ -163,42 +164,51 @@ class RasenganSolver:
         self._rng = np.random.default_rng(self.config.seed)
 
         self.initial_bits = problem.initial_feasible_solution()
-        self.basis = self._choose_basis(problem.homogeneous_basis)
+        with telemetry.span("basis", problem=problem.name):
+            self.basis = self._choose_basis(problem.homogeneous_basis)
         if self.config.warm_start:
             from repro.core.warmstart import hill_climb_initial_solution
 
             # Hill climbing moves along the move set, so the improved
             # start stays in the same connected component and coverage
             # guarantees are unaffected.
-            self.initial_bits = hill_climb_initial_solution(
-                problem, self.basis, start=self.initial_bits
-            )
+            with telemetry.span("warm_start"):
+                self.initial_bits = hill_climb_initial_solution(
+                    problem, self.basis, start=self.initial_bits
+                )
 
         m = self.basis.shape[0]
-        if self.config.enable_prune:
-            self.pruned = prune_schedule(self.basis, self.initial_bits)
-        else:
-            full = build_schedule(m)
-            self.pruned = PruneResult(
-                schedule=list(full),
-                kept_positions=list(range(len(full))),
-                original_length=len(full),
-                coverage_after=[],
-                total_reachable=-1,
+        with telemetry.span("prune", moves=m) as prune_span:
+            if self.config.enable_prune:
+                self.pruned = prune_schedule(self.basis, self.initial_bits)
+            else:
+                full = build_schedule(m)
+                self.pruned = PruneResult(
+                    schedule=list(full),
+                    kept_positions=list(range(len(full))),
+                    original_length=len(full),
+                    coverage_after=[],
+                    total_reachable=-1,
+                )
+            prune_span.set(
+                kept=len(self.pruned.schedule),
+                original=self.pruned.original_length,
             )
         self.schedule: List[int] = list(self.pruned.schedule)
-        if self.config.max_segment_cx is not None:
-            costs = [
-                CX_PER_NONZERO * int(np.count_nonzero(self.basis[index]))
-                for index in self.schedule
-            ]
-            self.plan: SegmentPlan = plan_segments_by_cost(
-                costs, self.config.max_segment_cx
-            )
-        else:
-            self.plan = plan_segments(
-                len(self.schedule), self.config.transitions_per_segment
-            )
+        with telemetry.span("segmentation") as seg_span:
+            if self.config.max_segment_cx is not None:
+                costs = [
+                    CX_PER_NONZERO * int(np.count_nonzero(self.basis[index]))
+                    for index in self.schedule
+                ]
+                self.plan: SegmentPlan = plan_segments_by_cost(
+                    costs, self.config.max_segment_cx
+                )
+            else:
+                self.plan = plan_segments(
+                    len(self.schedule), self.config.transitions_per_segment
+                )
+            seg_span.set(segments=self.plan.num_segments)
 
     # ------------------------------------------------------------------
     # Basis selection
@@ -305,21 +315,28 @@ class RasenganSolver:
         distribution: Dict[int, float] = {bits_to_int(self.initial_bits): 1.0}
         rate = 1.0
         for index, segment in enumerate(self.plan):
-            state = SparseState.from_distribution(
-                self.problem.num_variables, distribution
-            )
-            for position in segment:
-                state.apply_transition(
-                    self.basis[self.schedule[position]], times[position]
+            with telemetry.span(
+                "segment", index=index, engine="sparse", transitions=len(segment)
+            ):
+                state = SparseState.from_distribution(
+                    self.problem.num_variables, distribution
                 )
-            raw = state.probabilities()
-            if self.config.shots is not None:
-                shots = self._segment_shots(index, self.config.shots)
-                counts = counts_from_probabilities(raw, shots, self._rng)
-                raw = {k: v / shots for k, v in counts.items()}
-            rate = self._feasible_mass(raw)
-            distribution = self._purify_or_keep(raw)
-            distribution = self._drop_tiny(distribution)
+                with telemetry.span("sparse.evolve") as evolve_span:
+                    for position in segment:
+                        state.apply_transition(
+                            self.basis[self.schedule[position]], times[position]
+                        )
+                    evolve_span.set(amplitudes=len(state.amplitudes))
+                telemetry.add("circuits.executed")
+                raw = state.probabilities()
+                if self.config.shots is not None:
+                    shots = self._segment_shots(index, self.config.shots)
+                    telemetry.add("shots.total", shots)
+                    counts = counts_from_probabilities(raw, shots, self._rng)
+                    raw = {k: v / shots for k, v in counts.items()}
+                rate = self._feasible_mass(raw)
+                distribution = self._purify_or_keep(raw)
+                distribution = self._drop_tiny(distribution)
         return distribution, rate
 
     def _execute_backend(
@@ -330,26 +347,31 @@ class RasenganSolver:
         rate = 1.0
         n = self.problem.num_variables
         for index, segment in enumerate(self.plan):
-            schedule_slice = [self.schedule[pos] for pos in segment]
-            times_slice = [times[pos] for pos in segment]
-            allocation = allocate_shots(
-                distribution, self._segment_shots(index, base_shots)
-            )
-            outputs = []
-            for key, state_shots in allocation.items():
-                circuit = transition_chain_circuit(
-                    self.basis, schedule_slice, times_slice, n
+            with telemetry.span(
+                "segment", index=index, engine="backend", transitions=len(segment)
+            ):
+                schedule_slice = [self.schedule[pos] for pos in segment]
+                times_slice = [times[pos] for pos in segment]
+                allocation = allocate_shots(
+                    distribution, self._segment_shots(index, base_shots)
                 )
-                counts = self.backend.run(
-                    circuit, state_shots, initial_bits=int_to_bits(key, n)
-                )
-                outputs.append(counts)
-            merged = merge_counts(outputs)
-            total = sum(merged.values())
-            raw = {k: v / total for k, v in merged.items()}
-            rate = self._feasible_mass(raw)
-            distribution = self._purify_or_keep(raw)
-            distribution = self._drop_tiny(distribution)
+                outputs = []
+                for key, state_shots in allocation.items():
+                    circuit = transition_chain_circuit(
+                        self.basis, schedule_slice, times_slice, n
+                    )
+                    telemetry.add("circuits.executed")
+                    telemetry.add("shots.total", state_shots)
+                    counts = self.backend.run(
+                        circuit, state_shots, initial_bits=int_to_bits(key, n)
+                    )
+                    outputs.append(counts)
+                merged = merge_counts(outputs)
+                total = sum(merged.values())
+                raw = {k: v / total for k, v in merged.items()}
+                rate = self._feasible_mass(raw)
+                distribution = self._purify_or_keep(raw)
+                distribution = self._drop_tiny(distribution)
         return distribution, rate
 
     # ------------------------------------------------------------------
@@ -399,6 +421,7 @@ class RasenganSolver:
         history: List[float] = []
 
         def objective(times: np.ndarray) -> float:
+            telemetry.add("optimizer.iterations")
             try:
                 distribution, _ = self.execute(times)
             except NoFeasibleStateError:
@@ -408,37 +431,46 @@ class RasenganSolver:
             history.append(score)
             return score
 
-        x0 = np.full(self.num_parameters, self.config.initial_time)
-        if self.num_parameters == 0:
-            # Degenerate problem: a single feasible solution.
-            return self._finalize(x0, history)
+        with telemetry.span(
+            "solve",
+            problem=self.problem.name,
+            parameters=self.num_parameters,
+            segments=self.num_segments,
+        ) as solve_span:
+            x0 = np.full(self.num_parameters, self.config.initial_time)
+            if self.num_parameters == 0:
+                # Degenerate problem: a single feasible solution.
+                return self._finalize(x0, history)
 
-        best = x0
-        best_score = np.inf
-        for restart in range(max(self.config.restarts, 1)):
-            if restart == 0:
-                start = x0
-            else:
-                start = x0 + self._rng.uniform(
-                    -self.config.initial_time,
-                    self.config.initial_time,
-                    size=self.num_parameters,
-                )
-            outcome = sciopt.minimize(
-                objective,
-                start,
-                method="COBYLA",
-                options={
-                    "maxiter": self.config.max_iterations,
-                    "rhobeg": self.config.rhobeg,
-                },
-            )
-            candidate = np.asarray(outcome.x)
-            score = objective(candidate)
-            if score < best_score:
-                best_score = score
-                best = candidate
-        return self._finalize(best, history)
+            best = x0
+            best_score = np.inf
+            for restart in range(max(self.config.restarts, 1)):
+                telemetry.add("optimizer.restarts")
+                if restart == 0:
+                    start = x0
+                else:
+                    start = x0 + self._rng.uniform(
+                        -self.config.initial_time,
+                        self.config.initial_time,
+                        size=self.num_parameters,
+                    )
+                with telemetry.span("restart", index=restart):
+                    outcome = sciopt.minimize(
+                        objective,
+                        start,
+                        method="COBYLA",
+                        options={
+                            "maxiter": self.config.max_iterations,
+                            "rhobeg": self.config.rhobeg,
+                        },
+                    )
+                    candidate = np.asarray(outcome.x)
+                    score = objective(candidate)
+                if score < best_score:
+                    best_score = score
+                    best = candidate
+            solve_span.set(iterations=len(history), best_score=best_score)
+            return self._finalize(best, history)
 
     def _finalize(
         self, best_parameters: np.ndarray, history: List[float]

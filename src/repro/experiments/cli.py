@@ -6,11 +6,18 @@ Usage::
     python -m repro fig15 fig17
     python -m repro --list
     python -m repro all --quick
+    python -m repro fig13 --quick --trace
+    python -m repro fig13 --quick --trace-out trace.jsonl
 
 Each experiment prints the same rows/series the paper reports.  The
 ``--quick`` flag shrinks iteration budgets for smoke runs; benchmark-grade
 budgets are the defaults (and ``pytest benchmarks/ --benchmark-only``
 additionally asserts the paper's qualitative shapes).
+
+``--trace`` enables the telemetry layer for the whole invocation and
+prints the span tree plus counter summary afterwards; ``--trace-out PATH``
+additionally writes the trace as JSONL (implies ``--trace``).  See
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -18,6 +25,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Callable, Dict, List, Tuple
+
+from repro import telemetry
 
 
 def _table1(quick: bool) -> str:
@@ -155,6 +164,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quick", action="store_true", help="shrink budgets for a smoke run"
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable telemetry; print the span tree + counter summary",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write the telemetry trace as JSONL to PATH (implies --trace)",
+    )
     return parser
 
 
@@ -172,9 +191,23 @@ def main(argv: List[str] | None = None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    for name in requested:
-        description, runner = EXPERIMENTS[name]
-        print(f"=== {name}: {description} ===")
-        print(runner(args.quick))
+    trace = args.trace or args.trace_out is not None
+    collector = telemetry.enable() if trace else None
+    try:
+        for name in requested:
+            description, runner = EXPERIMENTS[name]
+            print(f"=== {name}: {description} ===")
+            print(runner(args.quick))
+            print()
+    finally:
+        if collector is not None:
+            telemetry.disable()
+    if collector is not None:
+        print("=== trace ===")
+        print(telemetry.render_tree(collector, max_children=6))
         print()
+        print(telemetry.render_summary(collector))
+        if args.trace_out is not None:
+            telemetry.write_jsonl(collector, args.trace_out)
+            print(f"\ntrace written to {args.trace_out}")
     return 0

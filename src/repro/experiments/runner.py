@@ -9,7 +9,7 @@ model needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
@@ -17,8 +17,10 @@ import numpy as np
 from repro.baselines import ChocoQ, HardwareEfficientAnsatz, PenaltyQAOA
 from repro.circuits.depth import circuit_depth, two_qubit_depth
 from repro.core.solver import RasenganConfig, RasenganSolver
+from repro.core.transition import transition_chain_circuit
 from repro.problems.base import ConstrainedBinaryProblem
 from repro.simulators.backends import Backend
+from repro import telemetry
 
 #: Algorithm names in the order the paper's tables list them.
 ALGORITHMS = ("hea", "pqaoa", "chocoq", "rasengan")
@@ -40,6 +42,41 @@ class AlgorithmRun:
     num_segments: int
     iterations: int
     final_distribution: Dict[int, float]
+    #: Counter/histogram totals for this run when telemetry was enabled
+    #: (see :func:`runner_telemetry_summary`); empty otherwise.
+    telemetry: Dict[str, object] = field(default_factory=dict)
+
+
+def runner_telemetry_summary(
+    baseline_counters: Optional[Dict[str, float]] = None,
+) -> Dict[str, object]:
+    """Counter totals (and histogram aggregates) for an ``AlgorithmRun``.
+
+    Args:
+        baseline_counters: a ``snapshot_counters()`` taken before the run;
+            when given, the returned counters are deltas over the run
+            instead of collector lifetime totals.
+
+    Returns an empty dict when telemetry is disabled, so callers can
+    attach the result unconditionally.
+    """
+    collector = telemetry.active()
+    if collector is None:
+        return {}
+    counters = collector.snapshot_counters()
+    if baseline_counters:
+        counters = {
+            name: value - baseline_counters.get(name, 0.0)
+            for name, value in counters.items()
+            if value != baseline_counters.get(name, 0.0)
+        }
+    return {
+        "counters": counters,
+        "histograms": {
+            name: histogram.to_dict()
+            for name, histogram in collector.histograms.items()
+        },
+    }
 
 
 def _baseline_depths(algo, parameters) -> tuple[int, int]:
@@ -84,6 +121,8 @@ def run_algorithm(
             iteration budgets used offline vs the paper's 300).
     """
     name = name.lower()
+    collector = telemetry.active()
+    snapshot = collector.snapshot_counters() if collector is not None else None
     if name == "rasengan":
         config = RasenganConfig(
             shots=shots,
@@ -98,8 +137,6 @@ def run_algorithm(
         solver = RasenganSolver(problem, backend=backend, config=config)
         result = solver.solve()
         # Depth of the deepest executed segment, decomposed.
-        from repro.core.transition import transition_chain_circuit
-
         depth = depth_2q = 0
         for segment in solver.plan:
             schedule_slice = [solver.schedule[pos] for pos in segment]
@@ -122,6 +159,7 @@ def run_algorithm(
             num_segments=result.num_segments,
             iterations=result.iterations,
             final_distribution=result.final_distribution,
+            telemetry=runner_telemetry_summary(snapshot),
         )
 
     classes = {
@@ -152,4 +190,5 @@ def run_algorithm(
         num_segments=1,
         iterations=result.iterations,
         final_distribution=result.final_distribution,
+        telemetry=runner_telemetry_summary(snapshot),
     )

@@ -28,6 +28,7 @@ from repro.simulators.noise import KrausChannel, NoiseModel
 from repro.simulators.sampling import apply_readout_error, counts_from_probabilities
 from repro.simulators.statevector import StatevectorSimulator, apply_instruction
 from repro.simulators.statevector import apply_single_qubit
+from repro import telemetry
 
 
 class Backend(abc.ABC):
@@ -63,10 +64,14 @@ class IdealBackend(Backend):
         shots: int,
         initial_bits: Optional[Sequence[int]] = None,
     ) -> Dict[int, int]:
-        probabilities = self._simulator.probabilities(
-            circuit, initial_bits=initial_bits
-        )
-        return counts_from_probabilities(probabilities, shots, self._rng)
+        with telemetry.span("backend.run", backend=self.name, shots=shots):
+            if telemetry.enabled():
+                telemetry.add("backend.executions")
+                telemetry.add("backend.shots", shots)
+            probabilities = self._simulator.probabilities(
+                circuit, initial_bits=initial_bits
+            )
+            return counts_from_probabilities(probabilities, shots, self._rng)
 
     def probabilities(
         self,
@@ -118,23 +123,43 @@ class NoisyTrajectoryBackend(Backend):
         trajectories = min(shots, self.max_trajectories)
         base, remainder = divmod(shots, trajectories)
         counts: Dict[int, int] = {}
-        for index in range(trajectories):
-            shots_here = base + (1 if index < remainder else 0)
-            if shots_here == 0:
-                continue
-            state = self._run_trajectory(flat, n, initial_bits)
-            probabilities = np.abs(state) ** 2
-            sampled = counts_from_probabilities(probabilities, shots_here, self._rng)
-            for key, count in sampled.items():
-                counts[key] = counts.get(key, 0) + count
-        if self.noise_model.has_readout_error:
-            counts = apply_readout_error(
-                counts,
-                n,
-                self.noise_model.readout_p01,
-                self.noise_model.readout_p10,
-                self._rng,
-            )
+        with telemetry.span(
+            "noisy.run",
+            backend=self.name,
+            shots=shots,
+            trajectories=trajectories,
+            gates=len(flat),
+        ):
+            if telemetry.enabled():
+                telemetry.add("backend.executions")
+                telemetry.add("backend.shots", shots)
+                telemetry.add("noise.trajectories", trajectories)
+                # Every trajectory replays the full decomposed circuit.
+                telemetry.add("gates.total", trajectories * len(flat))
+                telemetry.add(
+                    "gates.cx",
+                    trajectories
+                    * sum(1 for instr in flat if gate_category(instr) == "2q"),
+                )
+            for index in range(trajectories):
+                shots_here = base + (1 if index < remainder else 0)
+                if shots_here == 0:
+                    continue
+                state = self._run_trajectory(flat, n, initial_bits)
+                probabilities = np.abs(state) ** 2
+                sampled = counts_from_probabilities(
+                    probabilities, shots_here, self._rng
+                )
+                for key, count in sampled.items():
+                    counts[key] = counts.get(key, 0) + count
+            if self.noise_model.has_readout_error:
+                counts = apply_readout_error(
+                    counts,
+                    n,
+                    self.noise_model.readout_p01,
+                    self.noise_model.readout_p10,
+                    self._rng,
+                )
         return counts
 
     # ------------------------------------------------------------------

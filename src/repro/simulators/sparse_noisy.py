@@ -28,6 +28,7 @@ from repro.simulators.backends import Backend
 from repro.simulators.noise import KrausChannel, NoiseModel
 from repro.simulators.sampling import apply_readout_error, counts_from_probabilities
 from repro.simulators.sparsestate import SparseState
+from repro import telemetry
 
 
 class SparseTrajectoryBackend(Backend):
@@ -76,24 +77,42 @@ class SparseTrajectoryBackend(Backend):
         trajectories = min(shots, self.max_trajectories)
         base, remainder = divmod(shots, trajectories)
         counts: Dict[int, int] = {}
-        for index in range(trajectories):
-            shots_here = base + (1 if index < remainder else 0)
-            if shots_here == 0:
-                continue
-            state = self._run_trajectory(flat, n, initial_bits)
-            sampled = counts_from_probabilities(
-                state.probabilities(), shots_here, self._rng
-            )
-            for key, value in sampled.items():
-                counts[key] = counts.get(key, 0) + value
-        if self.noise_model.has_readout_error:
-            counts = apply_readout_error(
-                counts,
-                n,
-                self.noise_model.readout_p01,
-                self.noise_model.readout_p10,
-                self._rng,
-            )
+        with telemetry.span(
+            "sparse_noisy.run",
+            backend=self.name,
+            shots=shots,
+            trajectories=trajectories,
+            gates=len(flat),
+        ):
+            if telemetry.enabled():
+                telemetry.add("backend.executions")
+                telemetry.add("backend.shots", shots)
+                telemetry.add("noise.trajectories", trajectories)
+                # Every trajectory replays the full decomposed circuit.
+                telemetry.add("gates.total", trajectories * len(flat))
+                telemetry.add(
+                    "gates.cx",
+                    trajectories
+                    * sum(1 for instr in flat if gate_category(instr) == "2q"),
+                )
+            for index in range(trajectories):
+                shots_here = base + (1 if index < remainder else 0)
+                if shots_here == 0:
+                    continue
+                state = self._run_trajectory(flat, n, initial_bits)
+                sampled = counts_from_probabilities(
+                    state.probabilities(), shots_here, self._rng
+                )
+                for key, value in sampled.items():
+                    counts[key] = counts.get(key, 0) + value
+            if self.noise_model.has_readout_error:
+                counts = apply_readout_error(
+                    counts,
+                    n,
+                    self.noise_model.readout_p01,
+                    self.noise_model.readout_p10,
+                    self._rng,
+                )
         return counts
 
     # ------------------------------------------------------------------
@@ -107,11 +126,15 @@ class SparseTrajectoryBackend(Backend):
             state = SparseState.from_bits(list(initial_bits))
         else:
             state = SparseState(n)
+        peak = len(state.amplitudes)
         for instr in flat:
             if not instr.is_unitary:
                 continue
             state.apply_instruction(instr)
-            if len(state.amplitudes) > self.support_limit:
+            support = len(state.amplitudes)
+            if support > peak:
+                peak = support
+            if support > self.support_limit:
                 raise SimulationError(
                     f"sparse support exceeded {self.support_limit}; "
                     "this circuit needs the dense backend"
@@ -121,6 +144,7 @@ class SparseTrajectoryBackend(Backend):
                 for qubit in instr.qubits:
                     self._sample_kraus(state, channel, qubit)
         state.normalize()
+        telemetry.observe("sparse.amplitudes", peak)
         return state
 
     def _sample_kraus(

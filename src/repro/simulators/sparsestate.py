@@ -21,9 +21,10 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.gates import Instruction, single_qubit_matrix
+from repro.circuits.gates import Instruction, gate_category, single_qubit_matrix
 from repro.exceptions import SimulationError
 from repro.linalg.bitvec import bits_to_int, int_to_bits
+from repro import telemetry
 
 #: Amplitudes smaller than this are dropped after each operation.
 PRUNE_TOLERANCE = 1e-12
@@ -131,9 +132,23 @@ class SparseState:
     def run(self, circuit: QuantumCircuit) -> None:
         if circuit.num_qubits != self.num_qubits:
             raise SimulationError("circuit/state qubit count mismatch")
-        for instr in circuit:
-            self.apply_instruction(instr)
-        self.prune()
+        with telemetry.span(
+            "sparse.run", qubits=self.num_qubits, gates=len(circuit)
+        ) as run_span:
+            peak = len(self.amplitudes)
+            for instr in circuit:
+                self.apply_instruction(instr)
+                if len(self.amplitudes) > peak:
+                    peak = len(self.amplitudes)
+            self.prune()
+            if telemetry.enabled():
+                telemetry.add("gates.total", len(circuit))
+                telemetry.add(
+                    "gates.cx",
+                    sum(1 for instr in circuit if gate_category(instr) == "2q"),
+                )
+                telemetry.observe("sparse.amplitudes", peak)
+                run_span.set(peak_amplitudes=peak)
 
     def _apply_x(self, qubit: int) -> None:
         flip = 1 << qubit
@@ -254,6 +269,9 @@ class SparseState:
             updated[partner] = updated.get(partner, 0.0) - 1j * sin * amp
         self.amplitudes = updated
         self.prune()
+        if telemetry.enabled():
+            telemetry.add("sparse.transitions")
+            telemetry.observe("sparse.amplitudes", len(self.amplitudes))
 
     def copy(self) -> "SparseState":
         return SparseState(self.num_qubits, dict(self.amplitudes))

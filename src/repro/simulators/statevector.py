@@ -14,9 +14,10 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.gates import Instruction, single_qubit_matrix
+from repro.circuits.gates import Instruction, gate_category, single_qubit_matrix
 from repro.exceptions import SimulationError
 from repro.linalg.bitvec import bits_to_int
+from repro import telemetry
 
 
 class StatevectorSimulator:
@@ -64,8 +65,16 @@ class StatevectorSimulator:
             state = np.zeros(dim, dtype=np.complex128)
             start = bits_to_int(initial_bits) if initial_bits is not None else 0
             state[start] = 1.0
-        for instr in circuit:
-            state = apply_instruction(state, instr, n)
+        with telemetry.span("statevector.run", qubits=n, gates=len(circuit)):
+            for instr in circuit:
+                state = apply_instruction(state, instr, n)
+            if telemetry.enabled():
+                telemetry.add("statevector.runs")
+                telemetry.add("gates.total", len(circuit))
+                telemetry.add(
+                    "gates.cx",
+                    sum(1 for instr in circuit if gate_category(instr) == "2q"),
+                )
         return state
 
     def probabilities(

@@ -1,0 +1,68 @@
+"""repro.telemetry — dependency-free observability for the reproduction.
+
+Three primitives, all behind one global switch:
+
+* **Spans** — hierarchical wall-time tracing.  ``with span("solve"):``
+  records start/end times, nesting, and structured attributes.
+* **Counters / histograms** — named scalar aggregates (circuit
+  executions, total shots, CX gates, sparse-state support sizes, ...).
+* **Sinks** — the in-memory :class:`TelemetryCollector` (default), a
+  JSONL exporter/loader for offline analysis, and human-readable
+  tree/summary renderers.
+
+Disabled telemetry is a no-op fast path: every instrumentation call
+checks a single module attribute and returns, so the instrumented hot
+paths (sparse transitions, statevector gates) cost nothing measurable
+when tracing is off.  Typical use::
+
+    from repro import telemetry
+
+    with telemetry.session() as collector:
+        RasenganSolver(problem).solve()
+    print(telemetry.render_tree(collector))
+    print(telemetry.render_summary(collector))
+    telemetry.write_jsonl(collector, "trace.jsonl")
+
+Instrumentation conventions (canonical names) are documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.telemetry.core import (
+    NOOP_SPAN,
+    Histogram,
+    Span,
+    TelemetryCollector,
+    active,
+    add,
+    disable,
+    enable,
+    enabled,
+    observe,
+    session,
+    span,
+)
+from repro.telemetry.sinks import (
+    read_jsonl,
+    render_summary,
+    render_tree,
+    write_jsonl,
+)
+
+__all__ = [
+    "Histogram",
+    "NOOP_SPAN",
+    "Span",
+    "TelemetryCollector",
+    "active",
+    "add",
+    "disable",
+    "enable",
+    "enabled",
+    "observe",
+    "read_jsonl",
+    "render_summary",
+    "render_tree",
+    "session",
+    "span",
+    "write_jsonl",
+]

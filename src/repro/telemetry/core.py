@@ -1,0 +1,341 @@
+"""Tracing spans, counters, histograms, and the global telemetry switch.
+
+The design goal is a no-op fast path: all instrumentation funnels through
+:func:`span`, :func:`add`, and :func:`observe`, each of which reads one
+module-level attribute (``_ACTIVE``) and returns immediately when no
+collector is installed.  Instrumented code never needs to guard its calls.
+
+Tracing is single-threaded by design (one span stack per collector);
+counters and histograms are plain dict updates.  This matches how the
+solver and simulators execute today — revisit if a parallel executor
+lands.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Histogram",
+    "NOOP_SPAN",
+    "Span",
+    "TelemetryCollector",
+    "active",
+    "add",
+    "disable",
+    "enable",
+    "enabled",
+    "observe",
+    "session",
+    "span",
+]
+
+
+@dataclass
+class Span:
+    """One timed region: name, wall time, attributes, and children."""
+
+    name: str
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    start: float = 0.0
+    end: Optional[float] = None
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes after the span has started; returns self."""
+        self.attributes.update(attributes)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Span":
+        return cls(
+            name=payload["name"],
+            attributes=dict(payload.get("attributes", {})),
+            start=float(payload.get("start", 0.0)),
+            end=payload.get("end"),
+            children=[
+                cls.from_dict(child) for child in payload.get("children", [])
+            ],
+        )
+
+
+@dataclass
+class Histogram:
+    """Streaming aggregate of observed values (count/total/min/max)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Histogram":
+        histogram = cls(
+            count=int(payload.get("count", 0)),
+            total=float(payload.get("total", 0.0)),
+        )
+        if histogram.count:
+            histogram.minimum = float(payload["min"])
+            histogram.maximum = float(payload["max"])
+        return histogram
+
+
+class TelemetryCollector:
+    """In-memory sink: span forest + counter/histogram tables.
+
+    Args:
+        max_spans: hard cap on recorded spans.  Deeply iterated solver
+            loops can open thousands of segment spans; beyond the cap new
+            spans are dropped (counted in :attr:`dropped_spans`) while
+            counters/histograms keep aggregating, so long runs degrade to
+            metrics-only instead of exhausting memory.
+        clock: timestamp source (seconds); injectable for tests.
+    """
+
+    def __init__(
+        self,
+        max_spans: int = 100_000,
+        clock=time.perf_counter,
+    ) -> None:
+        self.roots: List[Span] = []
+        self.counters: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.max_spans = max_spans
+        self.dropped_spans = 0
+        self._clock = clock
+        self._stack: List[Span] = []
+        self._span_count = 0
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def start_span(self, name: str, attributes: Dict[str, Any]) -> Optional[Span]:
+        """Open a child of the current span (or a new root); may drop."""
+        if self._span_count >= self.max_spans:
+            self.dropped_spans += 1
+            return None
+        node = Span(name=name, attributes=attributes, start=self._clock())
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        self._span_count += 1
+        return node
+
+    def end_span(self, node: Span) -> None:
+        node.end = self._clock()
+        # Pop through any descendants left open by non-local exits.
+        while self._stack:
+            top = self._stack.pop()
+            if top is node:
+                break
+
+    def current_span(self) -> Optional[Span]:
+        """Innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Depth-first iteration over every recorded span."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def span_names(self) -> List[str]:
+        """Names of all recorded spans, depth-first."""
+        return [node.name for node in self.iter_spans()]
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def add(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def snapshot_counters(self) -> Dict[str, float]:
+        """Copy of the counter table (for before/after deltas)."""
+        return dict(self.counters)
+
+    def summary(self) -> Dict[str, Any]:
+        """Plain-dict rollup of counters and histogram aggregates."""
+        return {
+            "counters": dict(self.counters),
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in self.histograms.items()
+            },
+            "spans": self._span_count,
+            "dropped_spans": self.dropped_spans,
+        }
+
+
+class _NoopSpan:
+    """Singleton stand-in returned by :func:`span` when telemetry is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attributes: Any) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _SpanContext:
+    """Context manager binding one live span to a collector."""
+
+    __slots__ = ("_collector", "_name", "_attributes", "_node")
+
+    def __init__(
+        self, collector: TelemetryCollector, name: str, attributes: Dict[str, Any]
+    ) -> None:
+        self._collector = collector
+        self._name = name
+        self._attributes = attributes
+        self._node: Optional[Span] = None
+
+    def __enter__(self):
+        self._node = self._collector.start_span(self._name, self._attributes)
+        return self._node if self._node is not None else NOOP_SPAN
+
+    def __exit__(self, *exc_info) -> bool:
+        if self._node is not None:
+            self._collector.end_span(self._node)
+        return False
+
+
+# ----------------------------------------------------------------------
+# Global switch
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[TelemetryCollector] = None
+_PREVIOUS: List[Optional[TelemetryCollector]] = []
+
+
+def enable(collector: Optional[TelemetryCollector] = None) -> TelemetryCollector:
+    """Install ``collector`` (or a fresh one) as the global sink.
+
+    Enables stack: a previously active collector is remembered and
+    restored by the matching :func:`disable`.
+    """
+    global _ACTIVE
+    _PREVIOUS.append(_ACTIVE)
+    _ACTIVE = collector if collector is not None else TelemetryCollector()
+    return _ACTIVE
+
+
+def disable() -> Optional[TelemetryCollector]:
+    """Uninstall the active collector and return it (None if none)."""
+    global _ACTIVE
+    current = _ACTIVE
+    _ACTIVE = _PREVIOUS.pop() if _PREVIOUS else None
+    return current
+
+
+def enabled() -> bool:
+    """True when a collector is installed."""
+    return _ACTIVE is not None
+
+
+def active() -> Optional[TelemetryCollector]:
+    """The installed collector, or None."""
+    return _ACTIVE
+
+
+@contextmanager
+def session(collector: Optional[TelemetryCollector] = None):
+    """Enable telemetry for the duration of a ``with`` block."""
+    installed = enable(collector)
+    try:
+        yield installed
+    finally:
+        disable()
+
+
+# ----------------------------------------------------------------------
+# Instrumentation entry points (the no-op fast path)
+# ----------------------------------------------------------------------
+def span(name: str, **attributes: Any):
+    """Open a traced region; returns a context manager.
+
+    With telemetry disabled this returns the shared no-op span, so call
+    sites pay one global read.  The object yielded by ``with`` supports
+    ``.set(**attrs)`` in both modes.
+    """
+    collector = _ACTIVE
+    if collector is None:
+        return NOOP_SPAN
+    return _SpanContext(collector, name, attributes)
+
+
+def add(name: str, value: float = 1.0) -> None:
+    """Increment counter ``name`` (no-op when disabled)."""
+    collector = _ACTIVE
+    if collector is not None:
+        collector.add(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name`` (no-op when disabled)."""
+    collector = _ACTIVE
+    if collector is not None:
+        collector.observe(name, value)

@@ -74,3 +74,10 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "pre-flight report" in out
         assert "move set" in out
+
+    def test_trace_run(self, capsys, tmp_path):
+        _load("trace_run").main(str(tmp_path / "trace.jsonl"))
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "circuits.executed" in out
+        assert "round-tripped" in out

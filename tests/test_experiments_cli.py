@@ -25,6 +25,15 @@ class TestParser:
         args = parser.parse_args(["table1", "--quick"])
         assert args.experiments == ["table1"]
         assert args.quick
+        assert not args.trace
+        assert args.trace_out is None
+
+    def test_parser_trace_flags(self):
+        args = build_parser().parse_args(
+            ["fig15", "--trace", "--trace-out", "out.jsonl"]
+        )
+        assert args.trace
+        assert args.trace_out == "out.jsonl"
 
 
 class TestQuickRuns:
@@ -51,6 +60,32 @@ class TestQuickRuns:
         assert main(["fig15", "fig17", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "fig15" in out and "fig17" in out
+
+
+class TestTraceFlags:
+    def test_trace_prints_tree_and_summary(self, capsys):
+        assert main(["fig13", "--quick", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "=== trace ===" in out
+        assert "solve" in out
+        assert "counters:" in out
+        assert "circuits.executed" in out
+
+    def test_trace_out_writes_loadable_jsonl(self, capsys, tmp_path):
+        from repro import telemetry
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["fig13", "--quick", "--trace-out", str(path)]) == 0
+        assert path.exists()
+        loaded = telemetry.read_jsonl(path)
+        assert loaded.counter("circuits.executed") > 0
+        assert "solve" in set(loaded.span_names())
+
+    def test_trace_disabled_after_run(self, capsys):
+        from repro import telemetry
+
+        assert main(["fig15", "--quick", "--trace"]) == 0
+        assert not telemetry.enabled()
 
 
 class TestExperimentRunner:

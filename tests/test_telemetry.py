@@ -1,0 +1,329 @@
+"""Telemetry layer: spans, counters/histograms, sinks, no-op mode, and
+solver/runner integration."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.core import Histogram, Span, TelemetryCollector
+
+
+class TestSpans:
+    def test_nesting_records_tree(self):
+        with telemetry.session() as collector:
+            with telemetry.span("outer", kind="test"):
+                with telemetry.span("inner"):
+                    pass
+                with telemetry.span("inner"):
+                    pass
+        assert [root.name for root in collector.roots] == ["outer"]
+        outer = collector.roots[0]
+        assert [child.name for child in outer.children] == ["inner", "inner"]
+        assert outer.attributes == {"kind": "test"}
+
+    def test_timing_monotonicity(self):
+        with telemetry.session() as collector:
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    pass
+        outer = collector.roots[0]
+        inner = outer.children[0]
+        assert outer.end is not None and inner.end is not None
+        assert outer.start <= inner.start <= inner.end <= outer.end
+        assert inner.duration <= outer.duration
+        assert outer.duration >= 0.0
+
+    def test_set_attributes_after_start(self):
+        with telemetry.session() as collector:
+            with telemetry.span("work") as span:
+                span.set(items=3)
+        assert collector.roots[0].attributes == {"items": 3}
+
+    def test_exception_still_closes_span(self):
+        with telemetry.session() as collector:
+            with pytest.raises(RuntimeError):
+                with telemetry.span("fails"):
+                    raise RuntimeError("boom")
+        assert collector.roots[0].end is not None
+        assert collector.current_span() is None
+
+    def test_span_cap_drops_but_counts(self):
+        collector = TelemetryCollector(max_spans=2)
+        with telemetry.session(collector):
+            for _ in range(5):
+                with telemetry.span("s"):
+                    telemetry.add("events")
+        assert len(collector.roots) == 2
+        assert collector.dropped_spans == 3
+        assert collector.counter("events") == 5
+
+    def test_walk_and_span_names(self):
+        with telemetry.session() as collector:
+            with telemetry.span("a"):
+                with telemetry.span("b"):
+                    pass
+            with telemetry.span("c"):
+                pass
+        assert collector.span_names() == ["a", "b", "c"]
+
+
+class TestMetrics:
+    def test_counter_aggregation(self):
+        with telemetry.session() as collector:
+            telemetry.add("hits")
+            telemetry.add("hits", 2)
+            telemetry.add("shots", 512)
+        assert collector.counter("hits") == 3
+        assert collector.counter("shots") == 512
+        assert collector.counter("missing") == 0.0
+
+    def test_histogram_aggregation(self):
+        with telemetry.session() as collector:
+            for value in (4, 1, 7):
+                telemetry.observe("support", value)
+        histogram = collector.histograms["support"]
+        assert histogram.count == 3
+        assert histogram.total == 12
+        assert histogram.minimum == 1
+        assert histogram.maximum == 7
+        assert histogram.mean == 4
+
+    def test_histogram_empty_dict_roundtrip(self):
+        empty = Histogram()
+        assert Histogram.from_dict(empty.to_dict()).count == 0
+
+    def test_snapshot_counters_is_a_copy(self):
+        with telemetry.session() as collector:
+            telemetry.add("x")
+            snapshot = collector.snapshot_counters()
+            telemetry.add("x")
+        assert snapshot == {"x": 1}
+        assert collector.counter("x") == 2
+
+    def test_summary_rollup(self):
+        with telemetry.session() as collector:
+            with telemetry.span("s"):
+                telemetry.add("c", 2)
+                telemetry.observe("h", 5)
+        summary = collector.summary()
+        assert summary["counters"] == {"c": 2}
+        assert summary["histograms"]["h"]["max"] == 5
+        assert summary["spans"] == 1
+
+
+class TestNoopMode:
+    def test_disabled_by_default(self):
+        assert not telemetry.enabled()
+        assert telemetry.active() is None
+
+    def test_noop_span_is_singleton_and_chainable(self):
+        span = telemetry.span("anything", a=1)
+        assert span is telemetry.NOOP_SPAN
+        with span as inner:
+            assert inner.set(x=2) is telemetry.NOOP_SPAN
+
+    def test_disabled_emits_nothing(self):
+        # Collect with a session, then verify calls outside it mutate nothing.
+        with telemetry.session() as collector:
+            telemetry.add("inside")
+        telemetry.add("outside")
+        telemetry.observe("outside", 1.0)
+        with telemetry.span("outside"):
+            pass
+        assert collector.counters == {"inside": 1}
+        assert collector.histograms == {}
+        assert collector.span_names() == []
+
+    def test_session_nesting_restores_previous(self):
+        with telemetry.session() as outer_collector:
+            telemetry.add("which")
+            with telemetry.session() as inner_collector:
+                telemetry.add("which")
+            assert telemetry.active() is outer_collector
+            telemetry.add("which")
+        assert not telemetry.enabled()
+        assert outer_collector.counter("which") == 2
+        assert inner_collector.counter("which") == 1
+
+
+class TestJsonlSink:
+    def _populate(self) -> TelemetryCollector:
+        with telemetry.session() as collector:
+            with telemetry.span("solve", problem="F1") as span:
+                with telemetry.span("segment", index=0):
+                    telemetry.add("circuits.executed")
+                    telemetry.observe("sparse.amplitudes", 4)
+                span.set(score=1.5)
+            telemetry.add("shots.total", 1024)
+        return collector
+
+    def test_roundtrip_stream(self):
+        collector = self._populate()
+        buffer = io.StringIO()
+        telemetry.write_jsonl(collector, buffer)
+        buffer.seek(0)
+        loaded = telemetry.read_jsonl(buffer)
+        assert loaded.span_names() == collector.span_names()
+        assert loaded.counters == collector.counters
+        assert loaded.roots[0].attributes == {"problem": "F1", "score": 1.5}
+        assert loaded.roots[0].children[0].attributes == {"index": 0}
+        restored = loaded.histograms["sparse.amplitudes"]
+        assert restored.count == 1 and restored.maximum == 4
+
+    def test_roundtrip_path(self, tmp_path):
+        collector = self._populate()
+        path = tmp_path / "trace.jsonl"
+        telemetry.write_jsonl(collector, path)
+        # Every line is standalone valid JSON with a known type.
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert record["type"] in {"meta", "span", "counter", "histogram"}
+        loaded = telemetry.read_jsonl(path)
+        assert loaded.counters == collector.counters
+
+    def test_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta", "version": 99}\n')
+        with pytest.raises(ValueError, match="version"):
+            telemetry.read_jsonl(path)
+
+    def test_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            telemetry.read_jsonl(path)
+
+    def test_rejects_unknown_record(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown record"):
+            telemetry.read_jsonl(path)
+
+
+class TestRenderers:
+    def test_tree_elides_fanout(self):
+        with telemetry.session() as collector:
+            with telemetry.span("root"):
+                for index in range(10):
+                    with telemetry.span("child", index=index):
+                        pass
+        text = telemetry.render_tree(collector, max_children=3)
+        assert "root" in text
+        assert text.count("child") == 3
+        assert "(+7 more)" in text
+
+    def test_tree_empty(self):
+        assert "no spans" in telemetry.render_tree(TelemetryCollector())
+
+    def test_summary_lists_metrics(self):
+        with telemetry.session() as collector:
+            telemetry.add("circuits.executed", 5)
+            telemetry.observe("sparse.amplitudes", 3)
+        text = telemetry.render_summary(collector)
+        assert "circuits.executed" in text and "5" in text
+        assert "sparse.amplitudes" in text and "max=3" in text
+
+
+class TestSolverIntegration:
+    def test_rasengan_solve_produces_expected_trace(self, small_flp):
+        from repro.core.solver import RasenganConfig, RasenganSolver
+
+        with telemetry.session() as collector:
+            config = RasenganConfig(shots=64, max_iterations=10, seed=0)
+            RasenganSolver(small_flp, config=config).solve()
+        names = set(collector.span_names())
+        # Pipeline phases...
+        assert {"basis", "prune", "segmentation", "solve"} <= names
+        # ...per-segment execution and a simulator-level span.
+        assert "segment" in names
+        assert "sparse.evolve" in names
+        # Execution accounting.
+        assert collector.counter("circuits.executed") > 0
+        assert collector.counter("shots.total") > 0
+        assert collector.counter("optimizer.iterations") > 0
+        assert collector.histograms["sparse.amplitudes"].maximum >= 1
+
+    def test_backend_engine_counts_backend_executions(self, small_flp):
+        from repro.core.solver import RasenganConfig, RasenganSolver
+        from repro.simulators.backends import IdealBackend
+
+        with telemetry.session() as collector:
+            config = RasenganConfig(shots=32, max_iterations=4, seed=0)
+            RasenganSolver(
+                small_flp, backend=IdealBackend(seed=0), config=config
+            ).solve()
+        assert collector.counter("backend.executions") > 0
+        assert collector.counter("gates.cx") > 0
+        assert "statevector.run" in set(collector.span_names())
+
+    def test_baseline_counts_iterations_and_executions(self, small_flp):
+        from repro.baselines import HardwareEfficientAnsatz
+
+        with telemetry.session() as collector:
+            HardwareEfficientAnsatz(
+                small_flp, layers=1, shots=32, max_iterations=5, seed=0
+            ).solve()
+        assert collector.counter("optimizer.iterations") > 0
+        assert collector.counter("circuits.executed") > 0
+        assert "baseline.solve" in set(collector.span_names())
+        assert "optimizer.cobyla" in set(collector.span_names())
+
+    def test_solver_untraced_when_disabled(self, small_flp):
+        from repro.core.solver import RasenganConfig, RasenganSolver
+
+        with telemetry.session() as collector:
+            pass  # solve happens after the session closed
+        config = RasenganConfig(shots=None, max_iterations=5, seed=0)
+        RasenganSolver(small_flp, config=config).solve()
+        assert collector.span_names() == []
+        assert collector.counters == {}
+
+
+class TestRunnerIntegration:
+    def test_run_attaches_telemetry_summary(self, small_flp):
+        from repro.experiments.runner import run_algorithm
+
+        with telemetry.session():
+            run = run_algorithm(
+                "rasengan", small_flp, max_iterations=5, restarts=1
+            )
+        assert run.telemetry["counters"]["circuits.executed"] > 0
+        assert "sparse.amplitudes" in run.telemetry["histograms"]
+
+    def test_summary_is_per_run_delta(self, small_flp):
+        from repro.experiments.runner import run_algorithm
+
+        with telemetry.session() as collector:
+            first = run_algorithm(
+                "rasengan", small_flp, max_iterations=5, restarts=1
+            )
+            second = run_algorithm(
+                "rasengan", small_flp, max_iterations=5, restarts=1
+            )
+        first_executed = first.telemetry["counters"]["circuits.executed"]
+        second_executed = second.telemetry["counters"]["circuits.executed"]
+        total = collector.counter("circuits.executed")
+        assert first_executed + second_executed == total
+
+    def test_empty_without_telemetry(self, small_flp):
+        from repro.experiments.runner import run_algorithm
+
+        run = run_algorithm("rasengan", small_flp, max_iterations=5, restarts=1)
+        assert run.telemetry == {}
+
+
+class TestSpanDataclass:
+    def test_to_from_dict(self):
+        span = Span(name="s", attributes={"k": 1}, start=1.0, end=2.0)
+        span.children.append(Span(name="c", start=1.1, end=1.5))
+        clone = Span.from_dict(span.to_dict())
+        assert clone.name == "s"
+        assert clone.children[0].name == "c"
+        assert clone.duration == pytest.approx(1.0)
+
+    def test_open_span_duration_zero(self):
+        assert Span(name="open", start=5.0).duration == 0.0
