@@ -24,9 +24,11 @@ import numpy as np
 
 from repro.baselines.encoding import DEFAULT_PENALTY, PenaltyEncoding
 from repro.circuits.gates import single_qubit_matrix
+from repro.engine import ExecutionEngine, ensure_engine
 from repro.linalg.bitvec import int_to_bits
 from repro.metrics.arg import approximation_ratio_gap
 from repro.problems.base import ConstrainedBinaryProblem
+from repro.simulators.seeding import make_rng
 from repro.simulators.statevector import apply_single_qubit
 from repro import telemetry
 
@@ -72,7 +74,7 @@ class SimulatedAnnealing:
             initial_temperature if initial_temperature is not None else 2.0 * penalty
         )
         self.t_end = final_temperature
-        self._rng = np.random.default_rng(seed)
+        self._rng = make_rng(seed)
 
     def solve(self) -> AnnealResult:
         n = self.problem.num_variables
@@ -122,6 +124,8 @@ class QuantumAnnealer:
         steps: Trotter slices (also the schedule resolution).
         total_time: total annealing time ``T`` (larger = more adiabatic).
         seed: RNG seed for the final measurement.
+        engine: share an existing :class:`ExecutionEngine` (the final
+            measurement routes through it either way).
     """
 
     def __init__(
@@ -131,12 +135,13 @@ class QuantumAnnealer:
         steps: int = 100,
         total_time: float = 20.0,
         seed: Optional[int] = None,
+        engine: Optional[ExecutionEngine] = None,
     ) -> None:
         self.problem = problem
         self.encoding = PenaltyEncoding(problem, penalty)
         self.steps = steps
         self.total_time = total_time
-        self._rng = np.random.default_rng(seed)
+        self.engine = ensure_engine(engine, seed=seed)
 
     def final_state(self) -> np.ndarray:
         """Statevector after the full anneal."""
@@ -163,27 +168,26 @@ class QuantumAnnealer:
 
     def solve(self, shots: int = 1024) -> AnnealResult:
         telemetry.add("annealing.trotter_steps", self.steps)
-        telemetry.add("shots.total", shots)
         state = self.final_state()
         probabilities = np.abs(state) ** 2
         n = self.problem.num_variables
-        samples = self._rng.choice(
-            probabilities.shape[0], size=shots, p=probabilities / probabilities.sum()
+        counts = self.engine.sample_distribution(
+            probabilities / probabilities.sum(), shots
         )
-        values = []
+        total_value = 0.0
         feasible = 0
         best_bits = None
         best_value = np.inf
-        for sample in samples:
+        for sample, count in counts.items():
             bits = int_to_bits(int(sample), n)
             value = self.problem.penalty_value(bits, self.encoding.penalty)
-            values.append(value)
+            total_value += value * count
             if self.problem.is_feasible(bits):
-                feasible += 1
+                feasible += count
             if value < best_value:
                 best_value = value
                 best_bits = bits
-        expectation = float(np.mean(values))
+        expectation = total_value / shots
         return AnnealResult(
             problem_name=self.problem.name,
             best_value=best_value,

@@ -3,15 +3,18 @@
 Each baseline implements a fast dense simulation path
 (:meth:`VariationalBaseline.simulate`) used for training, and a gate-level
 circuit (:meth:`VariationalBaseline.build_circuit`) used for depth
-accounting and noisy (backend) execution.  Training minimises the expected
-penalty energy of the output distribution with COBYLA, matching the
-paper's protocol (Section 5.1).
+accounting and noisy (backend) execution.  Both run through the shared
+:class:`~repro.engine.ExecutionEngine` — the engine caches the synthesized
+ansatz and rebinds angles per COBYLA evaluation, and owns all sampling
+randomness.  Training minimises the expected penalty energy of the output
+distribution with COBYLA, matching the paper's protocol (Section 5.1).
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+import itertools
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -19,12 +22,16 @@ import numpy as np
 from repro.baselines.encoding import DEFAULT_PENALTY, PenaltyEncoding
 from repro.baselines.optimizer import minimize_cobyla
 from repro.circuits.circuit import QuantumCircuit
+from repro.engine import AnsatzSpec, ExecutionEngine
+from repro.engine.registry import BackendSpec
 from repro.linalg.bitvec import int_to_bits
 from repro.metrics.arg import approximation_ratio_gap
 from repro.problems.base import ConstrainedBinaryProblem
-from repro.simulators.backends import Backend
-from repro.simulators.sampling import counts_from_probabilities
+from repro.simulators.seeding import SeedBank, make_rng
 from repro import telemetry
+
+#: Process-unique ansatz cache keys (one per baseline instance).
+_ANSATZ_IDS = itertools.count()
 
 
 @dataclass
@@ -60,9 +67,13 @@ class VariationalBaseline(abc.ABC):
         shots: measurement shots for sampling-based scoring; ``None``
             scores the exact distribution.
         max_iterations: COBYLA iteration budget.
-        backend: optional gate-level backend; when given, training runs
-            real (possibly noisy) circuits instead of the dense fast path.
+        backend: backend name or instance forwarded to the engine; when
+            given, training runs real (possibly noisy) circuits instead of
+            the dense fast path.
         seed: RNG seed.
+        engine: share an existing :class:`ExecutionEngine` instead of
+            building one (``backend`` is ignored then).
+        engine_workers: process-pool width for a newly built engine.
     """
 
     algorithm: str = "baseline"
@@ -73,15 +84,28 @@ class VariationalBaseline(abc.ABC):
         penalty: float = DEFAULT_PENALTY,
         shots: Optional[int] = 1024,
         max_iterations: int = 300,
-        backend: Optional[Backend] = None,
+        backend: BackendSpec = None,
         seed: Optional[int] = None,
+        engine: Optional[ExecutionEngine] = None,
+        engine_workers: Optional[int] = None,
     ) -> None:
         self.problem = problem
         self.encoding = PenaltyEncoding(problem, penalty)
         self.shots = shots
         self.max_iterations = max_iterations
-        self.backend = backend
-        self._rng = np.random.default_rng(seed)
+        self._rng = make_rng(seed)
+        bank = SeedBank(seed)
+        if engine is None:
+            engine = ExecutionEngine(
+                backend, seed=bank.child(), workers=engine_workers
+            )
+        self.engine = engine
+        self._spec: Optional[AnsatzSpec] = None
+
+    @property
+    def backend(self):
+        """The engine's backend (``None`` in exact mode)."""
+        return self.engine.backend
 
     # ------------------------------------------------------------------
     @property
@@ -102,26 +126,26 @@ class VariationalBaseline(abc.ABC):
         """Gate-level circuit of the ansatz (for depth/noisy execution)."""
 
     # ------------------------------------------------------------------
+    def ansatz_spec(self) -> AnsatzSpec:
+        """This baseline's engine work description (cached)."""
+        if self._spec is None:
+            self._spec = AnsatzSpec(
+                key=("ansatz", self.algorithm, next(_ANSATZ_IDS)),
+                num_parameters=self.num_parameters,
+                build=self.build_circuit,
+                statevector=self.simulate,
+            )
+        return self._spec
+
+    def bound_circuit(self, parameters: np.ndarray) -> QuantumCircuit:
+        """Gate-level ansatz at ``parameters`` via the compiled cache."""
+        return self.engine.ansatz_circuit(self.ansatz_spec(), parameters)
+
     def distribution(self, parameters: np.ndarray) -> Dict[int, float]:
-        """Output distribution at ``parameters`` (fast or backend path)."""
-        telemetry.add("circuits.executed")
-        if self.backend is not None:
-            circuit = self.build_circuit(parameters)
-            shots = self.shots or 1024
-            telemetry.add("shots.total", shots)
-            counts = self.backend.run(circuit, shots)
-            total = sum(counts.values())
-            return {key: count / total for key, count in counts.items()}
-        probabilities = np.abs(self.simulate(parameters)) ** 2
-        if self.shots is None:
-            return {
-                int(key): float(p)
-                for key, p in enumerate(probabilities)
-                if p > 1e-12
-            }
-        telemetry.add("shots.total", self.shots)
-        counts = counts_from_probabilities(probabilities, self.shots, self._rng)
-        return {key: count / self.shots for key, count in counts.items()}
+        """Output distribution at ``parameters`` (engine-routed)."""
+        return self.engine.sample_ansatz(
+            self.ansatz_spec(), parameters, self.shots
+        )
 
     def penalty_expectation(self, distribution: Dict[int, float]) -> float:
         """Expected penalty energy — the training loss and the ARG input."""

@@ -21,9 +21,11 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.baselines.encoding import DEFAULT_PENALTY, PenaltyEncoding
+from repro.engine import ExecutionEngine, ensure_engine
 from repro.linalg.bitvec import int_to_bits
 from repro.metrics.arg import approximation_ratio_gap
 from repro.problems.base import ConstrainedBinaryProblem
+from repro.simulators.seeding import make_rng
 
 
 @dataclass
@@ -56,6 +58,8 @@ class GroverAdaptiveSearch:
         max_rotations_growth: Boyer et al. growth factor for the rotation
             count ceiling (8/7 in the original; larger is greedier).
         seed: RNG seed.
+        engine: share an existing :class:`ExecutionEngine` (measurements
+            route through it either way).
     """
 
     def __init__(
@@ -65,12 +69,14 @@ class GroverAdaptiveSearch:
         max_rounds: int = 20,
         max_rotations_growth: float = 8.0 / 7.0,
         seed: Optional[int] = None,
+        engine: Optional[ExecutionEngine] = None,
     ) -> None:
         self.problem = problem
         self.encoding = PenaltyEncoding(problem, penalty)
         self.max_rounds = max_rounds
         self.growth = max_rotations_growth
-        self._rng = np.random.default_rng(seed)
+        self._rng = make_rng(seed)
+        self.engine = ensure_engine(engine, seed=seed)
 
     # ------------------------------------------------------------------
     def _grover_iterate(self, state: np.ndarray, marked: np.ndarray) -> np.ndarray:
@@ -112,7 +118,10 @@ class GroverAdaptiveSearch:
                     state = self._grover_iterate(state, marked)
                 oracle_calls += rotations
                 probabilities = np.abs(state) ** 2
-                sample = int(self._rng.choice(dim, p=probabilities / probabilities.sum()))
+                counts = self.engine.sample_distribution(
+                    probabilities / probabilities.sum(), 1
+                )
+                sample = int(next(iter(counts)))
                 measurements += 1
                 bits = int_to_bits(sample, n)
                 if not self.problem.is_feasible(bits):

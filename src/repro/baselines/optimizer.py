@@ -9,11 +9,12 @@ it to cross-check optimizer-agnostic behaviour.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 from scipy import optimize as sciopt
 
+from repro.simulators.seeding import SeedLike, make_rng
 from repro import telemetry
 
 
@@ -45,14 +46,14 @@ def minimize_spsa(
     max_iterations: int = 300,
     a: float = 0.2,
     c: float = 0.15,
-    seed: Optional[int] = None,
+    seed: SeedLike = None,
 ) -> np.ndarray:
     """Simultaneous-perturbation stochastic approximation.
 
     Two loss evaluations per iteration regardless of dimension; standard
     gain schedules ``a_k = a / (k+1)^0.602`` and ``c_k = c / (k+1)^0.101``.
     """
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     x = np.asarray(x0, dtype=float).copy()
     if x.size == 0:
         return x

@@ -89,19 +89,26 @@ class PenaltyQAOA(VariationalBaseline):
         return params
 
     def _grid_search_seed(self) -> Tuple[float, float]:
-        """Red-QAOA-style coarse sweep of a single-layer landscape."""
-        best = (0.1, 0.1)
-        best_value = np.inf
+        """Red-QAOA-style coarse sweep of a single-layer landscape.
+
+        The 25-point sweep runs as one engine batch (the evaluations are
+        independent, exact single-layer evolutions).
+        """
         gammas = np.linspace(0.005, 0.1, 5)
         betas = np.linspace(0.1, 1.2, 5)
-        for gamma in gammas:
-            for beta in betas:
-                state = self._evolve([gamma, beta], layers=1)
-                value = float((np.abs(state) ** 2) @ self.encoding.energies)
-                if value < best_value:
-                    best_value = value
-                    best = (float(gamma), float(beta))
-        return best
+        grid = [
+            (float(gamma), float(beta)) for gamma in gammas for beta in betas
+        ]
+
+        def landscape_value(point: Tuple[float, float]) -> float:
+            state = self._evolve(list(point), layers=1)
+            return float((np.abs(state) ** 2) @ self.encoding.energies)
+
+        values = self.engine.run_batch(
+            landscape_value, grid, label="redqaoa-grid"
+        )
+        best_index = int(np.argmin(values))
+        return grid[best_index]
 
     # ------------------------------------------------------------------
     # Simulation

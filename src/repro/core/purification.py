@@ -11,6 +11,7 @@ product per distinct state, which is why the paper measures its cost at
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Tuple
 
 import numpy as np
@@ -77,7 +78,9 @@ def purify_probabilities(
         bits = int_to_bits(key, n).astype(np.int64)
         if np.array_equal(matrix @ bits, target):
             feasible[key] = probability
-    mass = sum(feasible.values())
+    # fsum keeps the renormalisation stable when the feasible mass is many
+    # tiny contributions (deep noisy chains can underflow a naive sum).
+    mass = math.fsum(feasible.values())
     if mass <= 0:
         raise NoFeasibleStateError(
             "purification removed all probability mass"

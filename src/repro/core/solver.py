@@ -12,20 +12,20 @@ Pipeline (paper, Sections 3-4):
 6. drive the per-transition evolution times with COBYLA to minimise the
    expected objective of the final feasible distribution.
 
-Two execution engines are provided:
-
-* an exact sparse engine (``backend=None``) that evolves a
-  :class:`~repro.simulators.sparsestate.SparseState` directly through the
-  transition operators — the offline counterpart of the artifact's DDSim
-  path; optionally with shot sampling;
-* a gate-level engine that synthesises each segment as a circuit and runs
-  it on any :class:`~repro.simulators.backends.Backend` (ideal or noisy).
+All execution goes through the unified
+:class:`~repro.engine.ExecutionEngine`: ``backend=None`` selects the
+exact sparse fast path (the offline counterpart of the artifact's DDSim
+path, optionally with shot sampling), any other backend spec runs the
+synthesised segment circuits gate-level.  The engine also provides the
+compiled-circuit cache (segments are synthesised once and rebound per
+COBYLA evaluation) and the optional process-pool fan-out used for
+multi-start restarts.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -33,25 +33,22 @@ from scipy import optimize as sciopt
 
 from repro.circuits.depth import CX_PER_NONZERO
 from repro.core.prune import PruneResult, build_schedule, prune_schedule
-from repro.core.purification import purify_counts, purify_probabilities
+from repro.core.purification import purify_probabilities
 from repro.core.segmentation import (
     SegmentPlan,
-    allocate_shots,
-    merge_counts,
     plan_segments,
     plan_segments_by_cost,
 )
 from repro.core.simplify import simplify_basis
-from repro.core.transition import transition_chain_circuit
+from repro.engine import ExecutionEngine, TransitionChainSpec
+from repro.engine.registry import BackendSpec
 from repro import telemetry
 from repro.exceptions import NoFeasibleStateError, SolverError
 from repro.linalg.bitvec import bits_to_int, int_to_bits
 from repro.linalg.moves import augment_moves_for_connectivity
 from repro.metrics.arg import approximation_ratio_gap
 from repro.problems.base import ConstrainedBinaryProblem
-from repro.simulators.backends import Backend
-from repro.simulators.sampling import counts_from_probabilities
-from repro.simulators.sparsestate import SparseState
+from repro.simulators.seeding import SeedBank, make_rng
 
 #: Score assigned when an execution produces no feasible state at all.
 _FAILURE_SCORE = 1e9
@@ -97,6 +94,9 @@ class RasenganConfig:
         min_seed_probability: segment-input states below this probability
             are dropped (emulates finite shot resolution when running with
             exact probabilities).
+        engine_workers: process-pool width for the execution engine
+            (``None`` = the process-wide default; restarts and noise
+            trajectories fan out, bit-identically to a serial run).
     """
 
     shots: Optional[int] = 1024
@@ -115,6 +115,7 @@ class RasenganConfig:
     rhobeg: float = 0.4
     seed: Optional[int] = None
     min_seed_probability: float = 1e-4
+    engine_workers: Optional[int] = None
 
 
 @dataclass
@@ -149,19 +150,62 @@ class RasenganResult:
         )
 
 
+def _run_restart(task) -> Tuple[np.ndarray, List[float]]:
+    """One COBYLA restart (module-level so the engine pool can run it).
+
+    The task carries a pre-spawned child seed; reseeding the (worker-local
+    or in-process) engine from it makes the restart a pure function of the
+    root seed, so parallel and serial runs produce identical candidates.
+    """
+    solver, start, seed, index = task
+    solver.engine.reseed(seed)
+    history: List[float] = []
+
+    def objective(times: np.ndarray) -> float:
+        telemetry.add("optimizer.iterations")
+        try:
+            distribution, _ = solver.execute(times)
+        except NoFeasibleStateError:
+            history.append(_FAILURE_SCORE)
+            return _FAILURE_SCORE
+        score = solver._score(distribution)
+        history.append(score)
+        return score
+
+    with telemetry.span("restart", index=index):
+        outcome = sciopt.minimize(
+            objective,
+            start,
+            method="COBYLA",
+            options={
+                "maxiter": solver.config.max_iterations,
+                "rhobeg": solver.config.rhobeg,
+            },
+        )
+    return np.asarray(outcome.x, dtype=float), history
+
+
 class RasenganSolver:
     """Variational solver implementing the full Rasengan pipeline."""
 
     def __init__(
         self,
         problem: ConstrainedBinaryProblem,
-        backend: Optional[Backend] = None,
+        backend: BackendSpec = None,
         config: Optional[RasenganConfig] = None,
+        engine: Optional[ExecutionEngine] = None,
     ) -> None:
         self.problem = problem
-        self.backend = backend
         self.config = config or RasenganConfig()
-        self._rng = np.random.default_rng(self.config.seed)
+        self._rng = make_rng(self.config.seed)
+        self._bank = SeedBank(self.config.seed)
+        if engine is None:
+            engine = ExecutionEngine(
+                backend,
+                seed=self._bank.child(),
+                workers=self.config.engine_workers,
+            )
+        self.engine = engine
 
         self.initial_bits = problem.initial_feasible_solution()
         with telemetry.span("basis", problem=problem.name):
@@ -209,6 +253,14 @@ class RasenganSolver:
                     len(self.schedule), self.config.transitions_per_segment
                 )
             seg_span.set(segments=self.plan.num_segments)
+        self.chain = TransitionChainSpec(
+            self.basis, self.schedule, problem.num_variables
+        )
+
+    @property
+    def backend(self):
+        """The engine's backend (``None`` in exact mode)."""
+        return self.engine.backend
 
     # ------------------------------------------------------------------
     # Basis selection
@@ -276,6 +328,10 @@ class RasenganSolver:
             for index in self.schedule
         )
 
+    def segment_circuit(self, positions: Sequence[int], times: Sequence[float]):
+        """Bound gate-level circuit of one segment (engine-cached)."""
+        return self.engine.segment_circuit(self.chain, positions, times)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -298,9 +354,37 @@ class RasenganSolver:
             raise SolverError(
                 f"expected {self.num_parameters} times, got {len(times)}"
             )
-        if self.backend is None:
-            return self._execute_sparse(times)
-        return self._execute_backend(times)
+        if self.engine.is_exact:
+            base_shots = self.config.shots
+        else:
+            base_shots = self.config.shots or 1024
+        distribution: Dict[int, float] = {bits_to_int(self.initial_bits): 1.0}
+        rate = 1.0
+        for index, segment in enumerate(self.plan):
+            times_slice = [times[pos] for pos in segment]
+            shots = (
+                None
+                if base_shots is None
+                else self._segment_shots(index, base_shots)
+            )
+            raw = self.engine.run_segment(
+                self.chain,
+                segment,
+                times_slice,
+                distribution,
+                shots,
+                segment_index=index,
+            )
+            rate = self._feasible_mass(raw)
+            distribution = self._purify_or_keep(raw)
+            distribution = self._drop_tiny(distribution)
+        return distribution, rate
+
+    def execute_batch(
+        self, batch: Sequence[Sequence[float]]
+    ) -> List[Tuple[Dict[int, float], float]]:
+        """Execute a batch of time vectors (engine-instrumented)."""
+        return self.engine.run_batch(self.execute, batch, label="execute")
 
     def _segment_shots(self, segment_index: int, base: int) -> int:
         """Shots for one segment under the geometric growth schedule."""
@@ -308,71 +392,6 @@ class RasenganSolver:
         if growth == 1.0:
             return base
         return max(1, int(round(base * growth**segment_index)))
-
-    def _execute_sparse(
-        self, times: Sequence[float]
-    ) -> Tuple[Dict[int, float], float]:
-        distribution: Dict[int, float] = {bits_to_int(self.initial_bits): 1.0}
-        rate = 1.0
-        for index, segment in enumerate(self.plan):
-            with telemetry.span(
-                "segment", index=index, engine="sparse", transitions=len(segment)
-            ):
-                state = SparseState.from_distribution(
-                    self.problem.num_variables, distribution
-                )
-                with telemetry.span("sparse.evolve") as evolve_span:
-                    for position in segment:
-                        state.apply_transition(
-                            self.basis[self.schedule[position]], times[position]
-                        )
-                    evolve_span.set(amplitudes=len(state.amplitudes))
-                telemetry.add("circuits.executed")
-                raw = state.probabilities()
-                if self.config.shots is not None:
-                    shots = self._segment_shots(index, self.config.shots)
-                    telemetry.add("shots.total", shots)
-                    counts = counts_from_probabilities(raw, shots, self._rng)
-                    raw = {k: v / shots for k, v in counts.items()}
-                rate = self._feasible_mass(raw)
-                distribution = self._purify_or_keep(raw)
-                distribution = self._drop_tiny(distribution)
-        return distribution, rate
-
-    def _execute_backend(
-        self, times: Sequence[float]
-    ) -> Tuple[Dict[int, float], float]:
-        base_shots = self.config.shots or 1024
-        distribution: Dict[int, float] = {bits_to_int(self.initial_bits): 1.0}
-        rate = 1.0
-        n = self.problem.num_variables
-        for index, segment in enumerate(self.plan):
-            with telemetry.span(
-                "segment", index=index, engine="backend", transitions=len(segment)
-            ):
-                schedule_slice = [self.schedule[pos] for pos in segment]
-                times_slice = [times[pos] for pos in segment]
-                allocation = allocate_shots(
-                    distribution, self._segment_shots(index, base_shots)
-                )
-                outputs = []
-                for key, state_shots in allocation.items():
-                    circuit = transition_chain_circuit(
-                        self.basis, schedule_slice, times_slice, n
-                    )
-                    telemetry.add("circuits.executed")
-                    telemetry.add("shots.total", state_shots)
-                    counts = self.backend.run(
-                        circuit, state_shots, initial_bits=int_to_bits(key, n)
-                    )
-                    outputs.append(counts)
-                merged = merge_counts(outputs)
-                total = sum(merged.values())
-                raw = {k: v / total for k, v in merged.items()}
-                rate = self._feasible_mass(raw)
-                distribution = self._purify_or_keep(raw)
-                distribution = self._drop_tiny(distribution)
-        return distribution, rate
 
     # ------------------------------------------------------------------
     def _feasible_mass(self, distribution: Dict[int, float]) -> float:
@@ -417,19 +436,15 @@ class RasenganSolver:
         return numerator / mass
 
     def solve(self) -> RasenganResult:
-        """Train the evolution times and return the best result found."""
-        history: List[float] = []
+        """Train the evolution times and return the best result found.
 
-        def objective(times: np.ndarray) -> float:
-            telemetry.add("optimizer.iterations")
-            try:
-                distribution, _ = self.execute(times)
-            except NoFeasibleStateError:
-                history.append(_FAILURE_SCORE)
-                return _FAILURE_SCORE
-            score = self._score(distribution)
-            history.append(score)
-            return score
+        Restarts are independent work units: each gets a pre-spawned child
+        seed and runs through :meth:`ExecutionEngine.map` (in-process by
+        default, process-pool when the engine has workers — bit-identical
+        either way).  The finishing candidates are then re-scored through
+        :meth:`ExecutionEngine.run_batch`.
+        """
+        history: List[float] = []
 
         with telemetry.span(
             "solve",
@@ -442,33 +457,52 @@ class RasenganSolver:
                 # Degenerate problem: a single feasible solution.
                 return self._finalize(x0, history)
 
-            best = x0
-            best_score = np.inf
-            for restart in range(max(self.config.restarts, 1)):
-                telemetry.add("optimizer.restarts")
-                if restart == 0:
-                    start = x0
-                else:
-                    start = x0 + self._rng.uniform(
+            starts = [x0]
+            for _ in range(max(self.config.restarts, 1) - 1):
+                starts.append(
+                    x0
+                    + self._rng.uniform(
                         -self.config.initial_time,
                         self.config.initial_time,
                         size=self.num_parameters,
                     )
-                with telemetry.span("restart", index=restart):
-                    outcome = sciopt.minimize(
-                        objective,
-                        start,
-                        method="COBYLA",
-                        options={
-                            "maxiter": self.config.max_iterations,
-                            "rhobeg": self.config.rhobeg,
-                        },
-                    )
-                    candidate = np.asarray(outcome.x)
-                    score = objective(candidate)
-                if score < best_score:
-                    best_score = score
-                    best = candidate
+                )
+            for _ in starts:
+                telemetry.add("optimizer.restarts")
+            restart_seeds = self._bank.spawn(len(starts))
+            tasks = [
+                (self, start, seed, index)
+                for index, (start, seed) in enumerate(zip(starts, restart_seeds))
+            ]
+            outcomes = self.engine.map(_run_restart, tasks, label="restarts")
+            candidates: List[np.ndarray] = []
+            for candidate, restart_history in outcomes:
+                candidates.append(candidate)
+                history.extend(restart_history)
+
+            score_seeds = self._bank.spawn(len(candidates))
+
+            def score_candidate(item) -> float:
+                seed, candidate = item
+                telemetry.add("optimizer.iterations")
+                self.engine.reseed(seed)
+                try:
+                    distribution, _ = self.execute(candidate)
+                except NoFeasibleStateError:
+                    history.append(_FAILURE_SCORE)
+                    return _FAILURE_SCORE
+                score = self._score(distribution)
+                history.append(score)
+                return score
+
+            scores = self.engine.run_batch(
+                score_candidate,
+                list(zip(score_seeds, candidates)),
+                label="restart-scores",
+            )
+            best_index = int(np.argmin(scores))
+            best = candidates[best_index]
+            best_score = scores[best_index]
             solve_span.set(iterations=len(history), best_score=best_score)
             return self._finalize(best, history)
 

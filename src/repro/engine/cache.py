@@ -1,0 +1,196 @@
+"""Compiled-circuit cache: synthesize once, rebind angles per evaluation.
+
+A COBYLA run evaluates the same circuit *structure* hundreds of times with
+different rotation angles.  Re-synthesizing the segment/ansatz circuit on
+every evaluation (ladder construction, control-pattern derivation, layer
+unrolling) dominates the classical cost of small-instance training, and
+all of it is parameter-independent.  The cache compiles a builder once
+into a :class:`CompiledCircuit` — a gate-list template plus, for every
+parameterised angle slot, either a constant or a ``(parameter index,
+coefficient)`` linear term — and every later evaluation rebinds the
+recorded slots in place of a full rebuild.
+
+Binding specs are discovered *numerically*: the builder is invoked at
+three fixed pseudo-random probe vectors and every angle slot is classified
+as constant (identical across probes) or as ``angle = c * theta[i]`` — the
+only form the library's synthesis routines produce (``RX(2t)``,
+``RZ(-2*gamma*h)``, HEA's identity binding, ...).  A builder whose gate
+structure or angle dependence does not fit is marked non-bindable and
+``bind`` simply calls the builder again — always correct, merely slower.
+Classification outcomes are reported through the ``engine.cache.*``
+telemetry counters (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro import telemetry
+
+#: Fixed probe seeds; three probes over-determine the one-term linear model
+#: enough to reject anything that is not exactly ``c * theta[i]``.
+_PROBE_SEEDS = (0xA11CE, 0xB0B0, 0xC0FFEE)
+_TOLERANCE = 1e-9
+
+CircuitBuilder = Callable[[np.ndarray], QuantumCircuit]
+
+#: One angle slot: ``("const", value)`` or ``("lin", parameter index, c)``.
+_Slot = Tuple
+
+
+def _probe_vectors(num_parameters: int) -> List[np.ndarray]:
+    """Distinct nonzero probe vectors, fixed across processes and runs."""
+    return [
+        np.random.default_rng(seed).uniform(0.25, 1.75, num_parameters)
+        for seed in _PROBE_SEEDS
+    ]
+
+
+def _classify_slot(
+    values: Sequence[float], probes: Sequence[np.ndarray]
+) -> Optional[_Slot]:
+    """Fit one angle slot to ``const`` or ``c * theta[i]`` across probes."""
+    v0 = values[0]
+    if all(abs(v - v0) <= _TOLERANCE * (1.0 + abs(v0)) for v in values[1:]):
+        return ("const", v0)
+    for index in range(probes[0].shape[0]):
+        coefficient = v0 / probes[0][index]
+        if all(
+            abs(coefficient * probe[index] - value)
+            <= _TOLERANCE * (1.0 + abs(value))
+            for probe, value in zip(probes[1:], values[1:])
+        ):
+            return ("lin", index, coefficient)
+    return None
+
+
+class CompiledCircuit:
+    """A circuit structure compiled for fast parameter rebinding."""
+
+    def __init__(
+        self, key: Hashable, build: CircuitBuilder, num_parameters: int
+    ) -> None:
+        self.key = key
+        self.num_parameters = num_parameters
+        self._build = build
+        self._template: Optional[QuantumCircuit] = None
+        #: ``(instruction index, per-slot specs)`` for parameterised gates.
+        self._bindings: List[Tuple[int, List[_Slot]]] = []
+        self.bindable = False
+        self._compile()
+
+    # ------------------------------------------------------------------
+    def _compile(self) -> None:
+        try:
+            if self.num_parameters == 0:
+                self._template = self._build(np.zeros(0))
+                self.bindable = True
+                return
+            probes = _probe_vectors(self.num_parameters)
+            circuits = [self._build(probe) for probe in probes]
+        except Exception:
+            # A builder that cannot even be probed stays rebuild-on-bind.
+            telemetry.add("engine.cache.unbindable")
+            return
+        reference = circuits[0]
+        if any(len(c) != len(reference) for c in circuits[1:]):
+            telemetry.add("engine.cache.unbindable")
+            return
+        bindings: List[Tuple[int, List[_Slot]]] = []
+        for position, group in enumerate(zip(*circuits)):
+            first = group[0]
+            if any(
+                other.name != first.name
+                or other.qubits != first.qubits
+                or other.ctrl_state != first.ctrl_state
+                or len(other.params) != len(first.params)
+                for other in group[1:]
+            ):
+                telemetry.add("engine.cache.unbindable")
+                return
+            if not first.params:
+                continue
+            slots: List[_Slot] = []
+            for slot in range(len(first.params)):
+                spec = _classify_slot(
+                    [instr.params[slot] for instr in group], probes
+                )
+                if spec is None:
+                    telemetry.add("engine.cache.unbindable")
+                    return
+                slots.append(spec)
+            bindings.append((position, slots))
+        self._template = reference
+        self._bindings = bindings
+        self.bindable = True
+
+    # ------------------------------------------------------------------
+    def bind(self, parameters: Sequence[float]) -> QuantumCircuit:
+        """The builder's circuit at ``parameters``, via rebinding if possible."""
+        values = np.asarray(parameters, dtype=float)
+        if values.shape[0] != self.num_parameters:
+            raise ValueError(
+                f"expected {self.num_parameters} parameters, got {values.shape[0]}"
+            )
+        if not self.bindable:
+            return self._build(values)
+        bound = self._template.copy()
+        instructions = bound._instructions
+        for position, slots in self._bindings:
+            instr = instructions[position]
+            params = tuple(
+                spec[1] if spec[0] == "const" else spec[2] * values[spec[1]]
+                for spec in slots
+            )
+            instructions[position] = replace(instr, params=params)
+        return bound
+
+
+class CircuitCache:
+    """LRU cache of :class:`CompiledCircuit` templates keyed on structure."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, CompiledCircuit]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self, key: Hashable, build: CircuitBuilder, num_parameters: int
+    ) -> CompiledCircuit:
+        """Fetch the compiled template for ``key``, compiling on first use."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            telemetry.add("engine.cache.hits")
+            return entry
+        self.misses += 1
+        telemetry.add("engine.cache.misses")
+        entry = CompiledCircuit(key, build, num_parameters)
+        self._entries[key] = entry
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            telemetry.add("engine.cache.evictions")
+        return entry
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never used)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def clear(self) -> None:
+        self._entries.clear()

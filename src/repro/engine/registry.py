@@ -1,0 +1,126 @@
+"""Backend registry: resolve execution backends by name or instance.
+
+The engine accepts either a :class:`~repro.simulators.backends.Backend`
+instance (used as-is) or a registered name.  The built-in names cover the
+four execution modes the reproduction uses:
+
+=================  ====================================================
+name               backend
+=================  ====================================================
+``exact``          sparse-exact / dense fast path (no backend object;
+                   aliases: ``sparse``, ``dense``, ``statevector``)
+``ideal``          :class:`IdealBackend` — exact statevector + sampling
+``fake_kyiv``      dense Kraus trajectories, IBM-Kyiv error rates
+``fake_brisbane``  dense Kraus trajectories, IBM-Brisbane error rates
+``noisy``          dense Kraus trajectories, Kyiv-calibrated default model
+``sparse_noisy``   sparse Kraus trajectories, Kyiv-calibrated default model
+=================  ====================================================
+
+Additional backends register with :func:`register_backend`; every factory
+takes ``seed=`` plus arbitrary keyword configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.exceptions import ReproError
+from repro.simulators.backends import (
+    Backend,
+    IdealBackend,
+    KYIV_TWO_QUBIT_ERROR,
+    NoisyTrajectoryBackend,
+    READOUT_ERROR,
+    SINGLE_QUBIT_ERROR,
+    fake_brisbane,
+    fake_kyiv,
+)
+from repro.simulators.noise import NoiseModel
+from repro.simulators.sparse_noisy import SparseTrajectoryBackend
+
+
+class EngineError(ReproError):
+    """Raised for invalid engine configuration (unknown backend, ...)."""
+
+
+#: Spellings that mean "no backend object — use the exact fast path".
+EXACT_ALIASES = frozenset({"exact", "sparse", "dense", "statevector", "none"})
+
+BackendFactory = Callable[..., Backend]
+BackendSpec = Union[None, str, Backend]
+
+_FACTORIES: Dict[str, BackendFactory] = {}
+
+
+def register_backend(
+    name: str, factory: BackendFactory, *, overwrite: bool = False
+) -> None:
+    """Register a backend factory under ``name`` (lower-cased)."""
+    key = name.lower()
+    if key in EXACT_ALIASES:
+        raise EngineError(f"{name!r} is reserved for the exact execution mode")
+    if key in _FACTORIES and not overwrite:
+        raise EngineError(f"backend {name!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """All resolvable names, exact-mode aliases included."""
+    return tuple(sorted(_FACTORIES)) + tuple(sorted(EXACT_ALIASES))
+
+
+def resolve_backend(
+    spec: BackendSpec, *, seed=None, **kwargs
+) -> Optional[Backend]:
+    """Resolve ``spec`` into a backend instance (or ``None`` = exact mode).
+
+    Args:
+        spec: ``None``, an exact-mode alias, a registered name, or an
+            already-constructed :class:`Backend` (returned unchanged).
+        seed: seed forwarded to the factory for named backends.
+        **kwargs: extra factory configuration (e.g. ``max_trajectories``).
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, Backend):
+        return spec
+    if not isinstance(spec, str):
+        raise EngineError(
+            f"backend spec must be a name or Backend instance, got {type(spec)!r}"
+        )
+    name = spec.lower()
+    if name in EXACT_ALIASES:
+        return None
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise EngineError(
+            f"unknown backend {spec!r}; available: {', '.join(available_backends())}"
+        )
+    return factory(seed=seed, **kwargs)
+
+
+def _default_noise_model() -> NoiseModel:
+    return NoiseModel.from_error_rates(
+        single_qubit_error=SINGLE_QUBIT_ERROR,
+        two_qubit_error=KYIV_TWO_QUBIT_ERROR,
+        readout_error=READOUT_ERROR,
+    )
+
+
+def _noisy(seed=None, noise_model: Optional[NoiseModel] = None, **kwargs):
+    return NoisyTrajectoryBackend(
+        noise_model or _default_noise_model(), seed=seed, **kwargs
+    )
+
+
+def _sparse_noisy(seed=None, noise_model: Optional[NoiseModel] = None, **kwargs):
+    return SparseTrajectoryBackend(
+        noise_model or _default_noise_model(), seed=seed, **kwargs
+    )
+
+
+register_backend("ideal", lambda seed=None, **kwargs: IdealBackend(seed=seed, **kwargs))
+register_backend("fake_kyiv", fake_kyiv)
+register_backend("fake_brisbane", fake_brisbane)
+register_backend("noisy", _noisy)
+register_backend("sparse_noisy", _sparse_noisy)

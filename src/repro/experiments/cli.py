@@ -8,6 +8,8 @@ Usage::
     python -m repro all --quick
     python -m repro fig13 --quick --trace
     python -m repro fig13 --quick --trace-out trace.jsonl
+    python -m repro table2 --engine-workers 4
+    python -m repro solve F1 --seed 7 --shots 256 --restarts 2
 
 Each experiment prints the same rows/series the paper reports.  The
 ``--quick`` flag shrinks iteration budgets for smoke runs; benchmark-grade
@@ -18,15 +20,27 @@ additionally asserts the paper's qualitative shapes).
 prints the span tree plus counter summary afterwards; ``--trace-out PATH``
 additionally writes the trace as JSONL (implies ``--trace``).  See
 ``docs/OBSERVABILITY.md``.
+
+``--engine-workers`` and ``--backend`` set the process-wide execution
+engine defaults (see ``docs/ARCHITECTURE.md``): every solver built during
+the invocation fans restarts/trajectories out over N worker processes
+(bit-identical to a serial run) and/or routes execution through the named
+backend.
+
+``solve`` is a single-solver subcommand that runs Rasengan on one
+benchmark and prints a deterministic JSON record; CI diffs its output
+across ``--engine-workers`` settings.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Tuple
 
 from repro import telemetry
+from repro.engine import configure_defaults
 
 
 def _table1(quick: bool) -> str:
@@ -174,10 +188,88 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the telemetry trace as JSONL to PATH (implies --trace)",
     )
+    _add_engine_arguments(parser)
     return parser
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan independent work (restarts, noise trajectories) out over "
+        "N worker processes; results are bit-identical to a serial run",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="execution backend name (e.g. ideal, fake_kyiv, sparse_noisy); "
+        "default is the exact simulation fast path",
+    )
+
+
+def build_solve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro solve",
+        description="Run the Rasengan solver on one benchmark and print a "
+        "deterministic JSON record.",
+    )
+    parser.add_argument("benchmark", help="benchmark id (e.g. F1, K2, S1)")
+    parser.add_argument("--case", type=int, default=0, help="benchmark case")
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument(
+        "--shots", type=int, default=None, help="shots per segment (default: exact)"
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=50, help="COBYLA iteration budget"
+    )
+    parser.add_argument(
+        "--restarts", type=int, default=1, help="independent optimizer starts"
+    )
+    _add_engine_arguments(parser)
+    return parser
+
+
+def _solve_main(argv: List[str]) -> int:
+    from repro.core.solver import RasenganConfig, RasenganSolver
+    from repro.problems.registry import make_benchmark
+
+    args = build_solve_parser().parse_args(argv)
+    config = RasenganConfig(
+        shots=args.shots,
+        max_iterations=args.iterations,
+        restarts=args.restarts,
+        seed=args.seed,
+        engine_workers=args.engine_workers,
+    )
+    problem = make_benchmark(args.benchmark, case=args.case)
+    solver = RasenganSolver(problem, backend=args.backend, config=config)
+    try:
+        result = solver.solve()
+    finally:
+        solver.engine.close()
+    payload = {
+        "problem": result.problem_name,
+        "arg": result.arg,
+        "expectation": result.expectation_value,
+        "in_constraints_rate": result.in_constraints_rate,
+        "parameters": [float(value) for value in result.best_parameters],
+        "distribution": {
+            str(key): value
+            for key, value in sorted(result.final_distribution.items())
+        },
+    }
+    print(json.dumps(payload, sort_keys=True))
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "solve":
+        return _solve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.experiments:
         for name, (description, _) in EXPERIMENTS.items():
@@ -193,6 +285,14 @@ def main(argv: List[str] | None = None) -> int:
         return 2
     trace = args.trace or args.trace_out is not None
     collector = telemetry.enable() if trace else None
+    engine_overrides = {}
+    if args.engine_workers is not None:
+        engine_overrides["workers"] = args.engine_workers
+    if args.backend is not None:
+        engine_overrides["backend"] = args.backend
+    previous_defaults = (
+        configure_defaults(**engine_overrides) if engine_overrides else None
+    )
     try:
         for name in requested:
             description, runner = EXPERIMENTS[name]
@@ -200,6 +300,11 @@ def main(argv: List[str] | None = None) -> int:
             print(runner(args.quick))
             print()
     finally:
+        if previous_defaults is not None:
+            configure_defaults(
+                workers=previous_defaults.workers,
+                backend=previous_defaults.backend,
+            )
         if collector is not None:
             telemetry.disable()
     if collector is not None:

@@ -15,11 +15,11 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.baselines import ChocoQ, HardwareEfficientAnsatz, PenaltyQAOA
+from repro.circuits.decompose import decompose_circuit
 from repro.circuits.depth import circuit_depth, two_qubit_depth
 from repro.core.solver import RasenganConfig, RasenganSolver
-from repro.core.transition import transition_chain_circuit
+from repro.engine.registry import BackendSpec
 from repro.problems.base import ConstrainedBinaryProblem
-from repro.simulators.backends import Backend
 from repro import telemetry
 
 #: Algorithm names in the order the paper's tables list them.
@@ -80,10 +80,13 @@ def runner_telemetry_summary(
 
 
 def _baseline_depths(algo, parameters) -> tuple[int, int]:
-    circuit = algo.build_circuit(parameters)
+    # The engine's compiled cache rebinds the already-synthesized ansatz,
+    # and both depth metrics share one {1q, CX} decomposition.
+    circuit = algo.bound_circuit(parameters)
+    flat = decompose_circuit(circuit)
     return (
-        circuit_depth(circuit, decompose=True),
-        two_qubit_depth(circuit, decompose=True),
+        circuit_depth(flat, decompose=False),
+        two_qubit_depth(flat, decompose=False),
     )
 
 
@@ -95,7 +98,8 @@ def run_algorithm(
     shots: Optional[int] = None,
     max_iterations: int = 300,
     seed: Optional[int] = 0,
-    backend: Optional[Backend] = None,
+    backend: BackendSpec = None,
+    engine_workers: Optional[int] = None,
     transitions_per_segment: int = 1,
     segment_cx_budget: Optional[int] = 140,
     frozen_qubits: int = 1,
@@ -110,7 +114,10 @@ def run_algorithm(
         shots: per-execution shots (``None`` = exact distribution).
         max_iterations: COBYLA budget.
         seed: RNG seed.
-        backend: optional gate-level backend (noisy evaluation).
+        backend: gate-level backend name or instance (noisy evaluation);
+            resolved through the engine's backend registry.
+        engine_workers: process-pool width for the execution engine
+            (``None`` = the process-wide default).
         transitions_per_segment: Rasengan segmentation granularity (used
             when an explicit non-default value is given).
         segment_cx_budget: Rasengan per-segment CX budget (the paper's
@@ -133,19 +140,20 @@ def run_algorithm(
             ),
             restarts=restarts,
             seed=seed,
+            engine_workers=engine_workers,
         )
         solver = RasenganSolver(problem, backend=backend, config=config)
         result = solver.solve()
-        # Depth of the deepest executed segment, decomposed.
+        # Depth of the deepest executed segment, decomposed.  The segment
+        # circuits come from the engine's compiled cache (synthesized once
+        # during the run, rebound here with the trained times).
         depth = depth_2q = 0
         for segment in solver.plan:
-            schedule_slice = [solver.schedule[pos] for pos in segment]
             times = [float(result.best_parameters[pos]) for pos in segment]
-            circuit = transition_chain_circuit(
-                solver.basis, schedule_slice, times, problem.num_variables
-            )
-            depth = max(depth, circuit_depth(circuit, decompose=True))
-            depth_2q = max(depth_2q, two_qubit_depth(circuit, decompose=True))
+            circuit = solver.segment_circuit(segment, times)
+            flat = decompose_circuit(circuit)
+            depth = max(depth, circuit_depth(flat, decompose=False))
+            depth_2q = max(depth_2q, two_qubit_depth(flat, decompose=False))
         return AlgorithmRun(
             algorithm=name,
             problem_name=problem.name,
@@ -170,7 +178,11 @@ def run_algorithm(
     if name not in classes:
         raise ValueError(f"unknown algorithm {name!r}")
     kwargs = dict(
-        shots=shots, max_iterations=max_iterations, backend=backend, seed=seed
+        shots=shots,
+        max_iterations=max_iterations,
+        backend=backend,
+        seed=seed,
+        engine_workers=engine_workers,
     )
     if name == "pqaoa":
         kwargs["frozen_qubits"] = frozen_qubits

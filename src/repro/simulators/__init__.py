@@ -28,10 +28,12 @@ from repro.simulators.noise import (
 )
 from repro.simulators.density import DensityMatrixSimulator
 from repro.simulators.sampling import counts_from_probabilities, apply_readout_error
+from repro.simulators.seeding import SeedBank, as_seed_sequence, make_rng
 from repro.simulators.backends import (
     Backend,
     IdealBackend,
     NoisyTrajectoryBackend,
+    TrajectoryBackend,
     fake_brisbane,
     fake_kyiv,
 )
@@ -52,9 +54,13 @@ __all__ = [
     "DensityMatrixSimulator",
     "counts_from_probabilities",
     "apply_readout_error",
+    "SeedBank",
+    "as_seed_sequence",
+    "make_rng",
     "Backend",
     "IdealBackend",
     "NoisyTrajectoryBackend",
+    "TrajectoryBackend",
     "SparseTrajectoryBackend",
     "PauliString",
     "PauliSum",

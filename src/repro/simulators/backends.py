@@ -10,22 +10,30 @@ A backend takes a circuit and returns measurement counts.  Three flavours:
   with the error rates the paper reports for the two devices it used
   (two-qubit error 1.2% on Kyiv, 0.82% on Brisbane; single-qubit error
   0.035%; ~1% readout error).
+
+Trajectory backends share :class:`TrajectoryBackend`: per-trajectory child
+seeds are spawned from the backend's :class:`~repro.simulators.seeding.SeedBank`
+before dispatch, and independent trajectories run through an injectable
+mapper (set by the execution engine) — so a process-pool fan-out consumes
+exactly the same seed tree as a serial run and produces identical counts.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.decompose import decompose_circuit
-from repro.circuits.gates import Instruction, gate_category
+from repro.circuits.gates import gate_category
 from repro.exceptions import SimulationError
 from repro.linalg.bitvec import bits_to_int
 from repro.simulators.noise import KrausChannel, NoiseModel
 from repro.simulators.sampling import apply_readout_error, counts_from_probabilities
+from repro.simulators.seeding import SeedBank, SeedLike, make_rng
 from repro.simulators.statevector import StatevectorSimulator, apply_instruction
 from repro.simulators.statevector import apply_single_qubit
 from repro import telemetry
@@ -49,14 +57,25 @@ class Backend(abc.ABC):
     def is_noisy(self) -> bool:
         return False
 
+    def reseed(self, seed: SeedLike) -> None:
+        """Reset the backend's random state from ``seed`` (no-op when the
+        backend is deterministic)."""
+
+    def set_mapper(self, mapper: Optional[Callable]) -> None:
+        """Install a map function for independent work units (engine hook);
+        ignored by backends with no fan-out."""
+
 
 class IdealBackend(Backend):
     """Noise-free sampling from the exact statevector."""
 
-    def __init__(self, seed: Optional[int] = None, name: str = "ideal") -> None:
+    def __init__(self, seed: SeedLike = None, name: str = "ideal") -> None:
         self.name = name
-        self._rng = np.random.default_rng(seed)
+        self._rng = make_rng(seed)
         self._simulator = StatevectorSimulator()
+
+    def reseed(self, seed: SeedLike) -> None:
+        self._rng = make_rng(seed)
 
     def run(
         self,
@@ -82,20 +101,49 @@ class IdealBackend(Backend):
         return self._simulator.probabilities(circuit, initial_bits=initial_bits)
 
 
-class NoisyTrajectoryBackend(Backend):
-    """Monte-Carlo Kraus-trajectory simulation of a noisy device.
+# ----------------------------------------------------------------------
+# Monte-Carlo trajectory backends
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _TrajectoryTask:
+    """One picklable trajectory work unit (seed pre-spawned parent-side)."""
+
+    backend: "TrajectoryBackend"
+    flat: QuantumCircuit
+    num_qubits: int
+    initial_bits: Optional[Tuple[int, ...]]
+    shots: int
+    seed: np.random.SeedSequence
+
+
+def _run_trajectory_task(task: _TrajectoryTask) -> Dict[int, int]:
+    """Evolve one trajectory and sample its shots (module-level so the
+    engine's process pool can dispatch it)."""
+    rng = np.random.default_rng(task.seed)
+    probabilities = task.backend._trajectory_probabilities(
+        task.flat, task.num_qubits, task.initial_bits, rng
+    )
+    return counts_from_probabilities(probabilities, task.shots, rng)
+
+
+class TrajectoryBackend(Backend):
+    """Shared Monte-Carlo trajectory plumbing (dense and sparse).
 
     Each trajectory is one pure-state evolution where, after every gate of
     the decomposed circuit, a Kraus operator of each attached channel is
     sampled with probability ``||K|psi>||^2``.  Shots are spread across
     ``max_trajectories`` trajectories (several measurement samples share a
-    trajectory, a standard variance/cost trade-off).
+    trajectory, a standard variance/cost trade-off).  Subclasses provide
+    :meth:`_trajectory_probabilities` for their state representation.
     """
+
+    #: Telemetry span name of one :meth:`run` call.
+    _span_name = "noisy.run"
 
     def __init__(
         self,
         noise_model: NoiseModel,
-        seed: Optional[int] = None,
+        seed: SeedLike = None,
         name: str = "noisy",
         max_trajectories: int = 64,
     ) -> None:
@@ -104,11 +152,36 @@ class NoisyTrajectoryBackend(Backend):
         self.name = name
         self.noise_model = noise_model
         self.max_trajectories = max_trajectories
-        self._rng = np.random.default_rng(seed)
+        self._bank = SeedBank(seed)
+        self._mapper: Optional[Callable] = None
 
     @property
     def is_noisy(self) -> bool:
         return True
+
+    def reseed(self, seed: SeedLike) -> None:
+        self._bank = SeedBank(seed)
+
+    def set_mapper(self, mapper: Optional[Callable]) -> None:
+        self._mapper = mapper
+
+    def __getstate__(self):
+        # The mapper closes over the engine; trajectory tasks that embed
+        # this backend must not drag the whole engine graph into workers
+        # (and workers never fan out further).
+        state = self.__dict__.copy()
+        state["_mapper"] = None
+        return state
+
+    @abc.abstractmethod
+    def _trajectory_probabilities(
+        self,
+        flat: QuantumCircuit,
+        num_qubits: int,
+        initial_bits: Optional[Sequence[int]],
+        rng: np.random.Generator,
+    ):
+        """One trajectory's outcome distribution (dense array or mapping)."""
 
     def run(
         self,
@@ -122,9 +195,26 @@ class NoisyTrajectoryBackend(Backend):
         n = flat.num_qubits
         trajectories = min(shots, self.max_trajectories)
         base, remainder = divmod(shots, trajectories)
+        # Spawn the whole seed tree up front (one child per trajectory,
+        # one for readout) so serial and parallel runs are bit-identical.
+        seeds = self._bank.spawn(trajectories + 1)
+        readout_rng = np.random.default_rng(seeds[-1])
+        bits = tuple(int(b) for b in initial_bits) if initial_bits is not None else None
+        tasks = [
+            _TrajectoryTask(
+                backend=self,
+                flat=flat,
+                num_qubits=n,
+                initial_bits=bits,
+                shots=base + (1 if index < remainder else 0),
+                seed=seeds[index],
+            )
+            for index in range(trajectories)
+            if base + (1 if index < remainder else 0) > 0
+        ]
         counts: Dict[int, int] = {}
         with telemetry.span(
-            "noisy.run",
+            self._span_name,
             backend=self.name,
             shots=shots,
             trajectories=trajectories,
@@ -141,15 +231,14 @@ class NoisyTrajectoryBackend(Backend):
                     trajectories
                     * sum(1 for instr in flat if gate_category(instr) == "2q"),
                 )
-            for index in range(trajectories):
-                shots_here = base + (1 if index < remainder else 0)
-                if shots_here == 0:
-                    continue
-                state = self._run_trajectory(flat, n, initial_bits)
-                probabilities = np.abs(state) ** 2
-                sampled = counts_from_probabilities(
-                    probabilities, shots_here, self._rng
+            mapper = self._mapper
+            if mapper is None:
+                outputs = [_run_trajectory_task(task) for task in tasks]
+            else:
+                outputs = mapper(
+                    _run_trajectory_task, tasks, label="trajectories"
                 )
+            for sampled in outputs:
                 for key, count in sampled.items():
                     counts[key] = counts.get(key, 0) + count
             if self.noise_model.has_readout_error:
@@ -158,9 +247,23 @@ class NoisyTrajectoryBackend(Backend):
                     n,
                     self.noise_model.readout_p01,
                     self.noise_model.readout_p10,
-                    self._rng,
+                    readout_rng,
                 )
         return counts
+
+
+class NoisyTrajectoryBackend(TrajectoryBackend):
+    """Dense-statevector Monte-Carlo Kraus-trajectory simulation."""
+
+    def _trajectory_probabilities(
+        self,
+        flat: QuantumCircuit,
+        num_qubits: int,
+        initial_bits: Optional[Sequence[int]],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        state = self._run_trajectory(flat, num_qubits, initial_bits, rng)
+        return np.abs(state) ** 2
 
     # ------------------------------------------------------------------
     def _run_trajectory(
@@ -168,6 +271,7 @@ class NoisyTrajectoryBackend(Backend):
         flat: QuantumCircuit,
         n: int,
         initial_bits: Optional[Sequence[int]],
+        rng: np.random.Generator,
     ) -> np.ndarray:
         state = np.zeros(1 << n, dtype=np.complex128)
         start = bits_to_int(initial_bits) if initial_bits is not None else 0
@@ -179,7 +283,7 @@ class NoisyTrajectoryBackend(Backend):
             width = 1 if gate_category(instr) == "1q" else 2
             for channel in self.noise_model.channels_for(width):
                 for qubit in instr.qubits:
-                    state = self._sample_kraus(state, channel, qubit, n)
+                    state = self._sample_kraus(state, channel, qubit, n, rng)
         return state
 
     def _sample_kraus(
@@ -188,10 +292,11 @@ class NoisyTrajectoryBackend(Backend):
         channel: KrausChannel,
         qubit: int,
         n: int,
+        rng: np.random.Generator,
     ) -> np.ndarray:
         if channel.is_unitary_mixture:
             probabilities, unitaries = channel.unitary_mixture
-            choice = self._rng.choice(len(probabilities), p=probabilities)
+            choice = rng.choice(len(probabilities), p=probabilities)
             unitary = unitaries[choice]
             if np.allclose(unitary, np.eye(2)):
                 return state
@@ -207,7 +312,7 @@ class NoisyTrajectoryBackend(Backend):
         if total <= 0:
             raise SimulationError("trajectory collapsed to zero norm")
         probabilities = [w / total for w in weights]
-        choice = self._rng.choice(len(candidates), p=probabilities)
+        choice = rng.choice(len(candidates), p=probabilities)
         chosen = candidates[choice]
         norm = np.sqrt(weights[choice])
         return chosen / norm
@@ -223,7 +328,7 @@ SINGLE_QUBIT_ERROR = 0.00035
 READOUT_ERROR = 0.01
 
 
-def fake_kyiv(seed: Optional[int] = None, **kwargs) -> NoisyTrajectoryBackend:
+def fake_kyiv(seed: SeedLike = None, **kwargs) -> NoisyTrajectoryBackend:
     """Noisy backend calibrated to the paper's IBM-Kyiv error rates."""
     model = NoiseModel.from_error_rates(
         single_qubit_error=SINGLE_QUBIT_ERROR,
@@ -233,7 +338,7 @@ def fake_kyiv(seed: Optional[int] = None, **kwargs) -> NoisyTrajectoryBackend:
     return NoisyTrajectoryBackend(model, seed=seed, name="fake_kyiv", **kwargs)
 
 
-def fake_brisbane(seed: Optional[int] = None, **kwargs) -> NoisyTrajectoryBackend:
+def fake_brisbane(seed: SeedLike = None, **kwargs) -> NoisyTrajectoryBackend:
     """Noisy backend calibrated to the paper's IBM-Brisbane error rates."""
     model = NoiseModel.from_error_rates(
         single_qubit_error=SINGLE_QUBIT_ERROR,

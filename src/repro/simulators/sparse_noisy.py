@@ -12,26 +12,29 @@ Pauli noise keeps states sparse exactly (X permutes, Z phases); amplitude
 and phase damping are diagonal-or-collapse Kraus maps, also
 sparsity-preserving.  Every channel supported by
 :class:`~repro.simulators.noise.NoiseModel` works here.
+
+Trajectory scheduling, seeding, and fan-out live in the shared
+:class:`~repro.simulators.backends.TrajectoryBackend` base; this class
+only supplies the sparse per-trajectory evolution.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.decompose import decompose_circuit
 from repro.circuits.gates import gate_category
 from repro.exceptions import SimulationError
-from repro.simulators.backends import Backend
+from repro.simulators.backends import TrajectoryBackend
 from repro.simulators.noise import KrausChannel, NoiseModel
-from repro.simulators.sampling import apply_readout_error, counts_from_probabilities
+from repro.simulators.seeding import SeedLike
 from repro.simulators.sparsestate import SparseState
 from repro import telemetry
 
 
-class SparseTrajectoryBackend(Backend):
+class SparseTrajectoryBackend(TrajectoryBackend):
     """Monte-Carlo Kraus trajectories on sparse amplitude maps.
 
     Args:
@@ -44,83 +47,37 @@ class SparseTrajectoryBackend(Backend):
             exceeding it raises (pick the dense backend instead).
     """
 
+    _span_name = "sparse_noisy.run"
+
     def __init__(
         self,
         noise_model: NoiseModel,
-        seed: Optional[int] = None,
+        seed: SeedLike = None,
         name: str = "sparse_noisy",
         max_trajectories: int = 64,
         support_limit: int = 200_000,
     ) -> None:
-        if max_trajectories < 1:
-            raise SimulationError("max_trajectories must be >= 1")
-        self.name = name
-        self.noise_model = noise_model
-        self.max_trajectories = max_trajectories
+        super().__init__(
+            noise_model, seed=seed, name=name, max_trajectories=max_trajectories
+        )
         self.support_limit = support_limit
-        self._rng = np.random.default_rng(seed)
-
-    @property
-    def is_noisy(self) -> bool:
-        return True
-
-    def run(
-        self,
-        circuit: QuantumCircuit,
-        shots: int,
-        initial_bits: Optional[Sequence[int]] = None,
-    ) -> Dict[int, int]:
-        if shots <= 0:
-            return {}
-        flat = decompose_circuit(circuit)
-        n = flat.num_qubits
-        trajectories = min(shots, self.max_trajectories)
-        base, remainder = divmod(shots, trajectories)
-        counts: Dict[int, int] = {}
-        with telemetry.span(
-            "sparse_noisy.run",
-            backend=self.name,
-            shots=shots,
-            trajectories=trajectories,
-            gates=len(flat),
-        ):
-            if telemetry.enabled():
-                telemetry.add("backend.executions")
-                telemetry.add("backend.shots", shots)
-                telemetry.add("noise.trajectories", trajectories)
-                # Every trajectory replays the full decomposed circuit.
-                telemetry.add("gates.total", trajectories * len(flat))
-                telemetry.add(
-                    "gates.cx",
-                    trajectories
-                    * sum(1 for instr in flat if gate_category(instr) == "2q"),
-                )
-            for index in range(trajectories):
-                shots_here = base + (1 if index < remainder else 0)
-                if shots_here == 0:
-                    continue
-                state = self._run_trajectory(flat, n, initial_bits)
-                sampled = counts_from_probabilities(
-                    state.probabilities(), shots_here, self._rng
-                )
-                for key, value in sampled.items():
-                    counts[key] = counts.get(key, 0) + value
-            if self.noise_model.has_readout_error:
-                counts = apply_readout_error(
-                    counts,
-                    n,
-                    self.noise_model.readout_p01,
-                    self.noise_model.readout_p10,
-                    self._rng,
-                )
-        return counts
 
     # ------------------------------------------------------------------
+    def _trajectory_probabilities(
+        self,
+        flat: QuantumCircuit,
+        num_qubits: int,
+        initial_bits: Optional[Sequence[int]],
+        rng: np.random.Generator,
+    ):
+        return self._run_trajectory(flat, num_qubits, initial_bits, rng).probabilities()
+
     def _run_trajectory(
         self,
         flat: QuantumCircuit,
         n: int,
         initial_bits: Optional[Sequence[int]],
+        rng: np.random.Generator,
     ) -> SparseState:
         if initial_bits is not None:
             state = SparseState.from_bits(list(initial_bits))
@@ -142,17 +99,21 @@ class SparseTrajectoryBackend(Backend):
             width = 1 if gate_category(instr) == "1q" else 2
             for channel in self.noise_model.channels_for(width):
                 for qubit in instr.qubits:
-                    self._sample_kraus(state, channel, qubit)
+                    self._sample_kraus(state, channel, qubit, rng)
         state.normalize()
         telemetry.observe("sparse.amplitudes", peak)
         return state
 
     def _sample_kraus(
-        self, state: SparseState, channel: KrausChannel, qubit: int
+        self,
+        state: SparseState,
+        channel: KrausChannel,
+        qubit: int,
+        rng: np.random.Generator,
     ) -> None:
         if channel.is_unitary_mixture:
             probabilities, unitaries = channel.unitary_mixture
-            choice = self._rng.choice(len(probabilities), p=probabilities)
+            choice = rng.choice(len(probabilities), p=probabilities)
             unitary = unitaries[choice]
             if not np.allclose(unitary, np.eye(2)):
                 state.apply_single_qubit_matrix(unitary, qubit)
@@ -169,7 +130,7 @@ class SparseTrajectoryBackend(Backend):
         if total <= 0:
             raise SimulationError("trajectory collapsed to zero norm")
         probabilities = [w / total for w in weights]
-        choice = self._rng.choice(len(candidates), p=probabilities)
+        choice = rng.choice(len(candidates), p=probabilities)
         chosen = candidates[choice]
         chosen.normalize()
         state.amplitudes = chosen.amplitudes

@@ -78,3 +78,43 @@ class TestPurifyProbabilities:
             {a: 0.3, b: 0.1, bad: 0.6}, matrix, bound
         )
         assert purified[a] / purified[b] == pytest.approx(3.0)
+
+    def test_empty_distribution_raises(self, system):
+        matrix, bound = system
+        with pytest.raises(NoFeasibleStateError):
+            purify_probabilities({}, matrix, bound)
+
+    def test_all_infeasible_raises(self, system):
+        matrix, bound = system
+        distribution = {
+            bits_to_int([1, 1, 1, 1, 1]): 0.7,
+            bits_to_int([1, 1, 0, 0, 0]): 0.3,
+        }
+        with pytest.raises(NoFeasibleStateError):
+            purify_probabilities(distribution, matrix, bound)
+
+    def test_underflow_mass_renormalises(self, system):
+        # Deep noisy chains can shrink every feasible amplitude to the
+        # denormal range; the fsum-based renormalisation must still return
+        # a unit-mass distribution instead of dividing by 0 or drifting.
+        matrix, bound = system
+        a = bits_to_int([0, 0, 0, 1, 0])
+        b = bits_to_int([1, 0, 1, 0, 0])
+        bad = bits_to_int([1, 1, 1, 1, 1])
+        distribution = {a: 3e-300, b: 1e-300, bad: 1.0}
+        purified, mass = purify_probabilities(distribution, matrix, bound)
+        assert mass > 0
+        assert sum(purified.values()) == pytest.approx(1.0)
+        assert purified[a] / purified[b] == pytest.approx(3.0)
+
+    def test_many_tiny_contributions_sum_stably(self, system):
+        matrix, bound = system
+        a = bits_to_int([0, 0, 0, 1, 0])
+        b = bits_to_int([1, 0, 1, 0, 0])
+        # One dominant state plus a tiny one: naive accumulation order can
+        # lose the tiny term entirely; fsum keeps the ratio exact.
+        distribution = {a: 1.0, b: 1e-17}
+        purified, mass = purify_probabilities(distribution, matrix, bound)
+        assert mass == pytest.approx(1.0)
+        assert b in purified
+        assert sum(purified.values()) == pytest.approx(1.0)

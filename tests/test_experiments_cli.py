@@ -1,8 +1,15 @@
 """CLI and experiment-harness plumbing."""
 
+import json
+
 import pytest
 
-from repro.experiments.cli import EXPERIMENTS, build_parser, main
+from repro.experiments.cli import (
+    EXPERIMENTS,
+    build_parser,
+    build_solve_parser,
+    main,
+)
 
 
 class TestParser:
@@ -34,6 +41,52 @@ class TestParser:
         )
         assert args.trace
         assert args.trace_out == "out.jsonl"
+
+    def test_parser_engine_flags(self):
+        args = build_parser().parse_args(
+            ["table1", "--engine-workers", "4", "--backend", "ideal"]
+        )
+        assert args.engine_workers == 4
+        assert args.backend == "ideal"
+        defaults = build_parser().parse_args(["table1"])
+        assert defaults.engine_workers is None
+        assert defaults.backend is None
+
+    def test_solve_parser(self):
+        args = build_solve_parser().parse_args(
+            ["F1", "--seed", "7", "--shots", "128", "--engine-workers", "2"]
+        )
+        assert args.benchmark == "F1"
+        assert args.seed == 7
+        assert args.shots == 128
+        assert args.engine_workers == 2
+
+
+class TestSolveSubcommand:
+    def test_solve_prints_json_record(self, capsys):
+        assert main(["solve", "F1", "--seed", "3", "--iterations", "8"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["problem"] == "F1-case0"
+        assert payload["in_constraints_rate"] == 1.0
+        assert payload["distribution"]
+
+    def test_solve_output_deterministic_across_workers(self, capsys):
+        argv = ["solve", "F1", "--seed", "7", "--shots", "128",
+                "--iterations", "6", "--restarts", "2"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--engine-workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_engine_defaults_restored_after_run(self, capsys):
+        from repro.engine import get_defaults
+
+        before = get_defaults()
+        assert main(["fig15", "--quick", "--engine-workers", "2"]) == 0
+        after = get_defaults()
+        assert after.workers == before.workers
+        assert after.backend == before.backend
 
 
 class TestQuickRuns:
