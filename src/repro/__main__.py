@@ -1,4 +1,9 @@
-"""``python -m repro`` — regenerate paper tables/figures from the CLI."""
+"""``python -m repro`` — tables/figures, one-shot solves, and the service.
+
+Same entry point as the ``repro`` console script: experiment names
+regenerate paper tables/figures, ``solve`` runs one benchmark, ``serve``
+starts the solve service, and ``--version`` reports the package version.
+"""
 
 import sys
 

@@ -149,6 +149,25 @@ class RasenganResult:
             f"segments={self.num_segments} params={self.num_parameters}"
         )
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """Deterministic JSON-compatible record of this run.
+
+        The single wire format shared by the ``solve`` CLI subcommand and
+        the solve service (``docs/SERVICE.md``): two runs are bit-for-bit
+        identical exactly when these dicts are equal.
+        """
+        return {
+            "problem": self.problem_name,
+            "arg": self.arg,
+            "expectation": self.expectation_value,
+            "in_constraints_rate": self.in_constraints_rate,
+            "parameters": [float(value) for value in self.best_parameters],
+            "distribution": {
+                str(key): value
+                for key, value in sorted(self.final_distribution.items())
+            },
+        }
+
 
 def _run_restart(task) -> Tuple[np.ndarray, List[float]]:
     """One COBYLA restart (module-level so the engine pool can run it).

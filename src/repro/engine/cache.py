@@ -23,6 +23,7 @@ telemetry counters (see ``docs/OBSERVABILITY.md``).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import replace
 from typing import Callable, Hashable, List, Optional, Sequence, Tuple
@@ -152,39 +153,50 @@ class CompiledCircuit:
 
 
 class CircuitCache:
-    """LRU cache of :class:`CompiledCircuit` templates keyed on structure."""
+    """LRU cache of :class:`CompiledCircuit` templates keyed on structure.
+
+    Thread-safe: lookups, insertions, and evictions take an internal lock,
+    so one cache instance can be shared across engines living on different
+    threads (the :mod:`repro.service` worker pool shares a single cache to
+    amortize synthesis across identical submissions).  A compiled template
+    is immutable after construction — :meth:`CompiledCircuit.bind` copies
+    before mutating — so handing the same entry to many threads is safe.
+    """
 
     def __init__(self, max_entries: int = 256) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._entries: "OrderedDict[Hashable, CompiledCircuit]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(
         self, key: Hashable, build: CircuitBuilder, num_parameters: int
     ) -> CompiledCircuit:
         """Fetch the compiled template for ``key``, compiling on first use."""
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            telemetry.add("engine.cache.hits")
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                telemetry.add("engine.cache.hits")
+                return entry
+            self.misses += 1
+            telemetry.add("engine.cache.misses")
+            entry = CompiledCircuit(key, build, num_parameters)
+            self._entries[key] = entry
+            if len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                telemetry.add("engine.cache.evictions")
             return entry
-        self.misses += 1
-        telemetry.add("engine.cache.misses")
-        entry = CompiledCircuit(key, build, num_parameters)
-        self._entries[key] = entry
-        if len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            telemetry.add("engine.cache.evictions")
-        return entry
 
     @property
     def hit_rate(self) -> float:
@@ -193,4 +205,5 @@ class CircuitCache:
         return self.hits / lookups if lookups else 0.0
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -54,23 +54,34 @@ _UNSET = object()
 @dataclass
 class EngineDefaults:
     """Process-wide defaults applied when an engine is built without
-    explicit ``workers``/``backend`` — the hook behind the CLI's
-    ``--engine-workers`` and ``--backend`` flags."""
+    explicit ``workers``/``backend``/``cache`` — the hook behind the CLI's
+    ``--engine-workers`` and ``--backend`` flags.
+
+    ``cache`` is the shared compiled-circuit cache: when set, every engine
+    built without an explicit cache reuses it, so identical circuit
+    structures are synthesized once *per process* instead of once per
+    engine.  The solve service installs one to amortize compilation across
+    jobs (:class:`CircuitCache` is thread-safe); ``None`` keeps the
+    historical one-private-cache-per-engine behaviour.
+    """
 
     workers: int = 0
     backend: BackendSpec = None
+    cache: Optional[CircuitCache] = None
 
 
 _DEFAULTS = EngineDefaults()
 
 
-def configure_defaults(*, workers=_UNSET, backend=_UNSET) -> EngineDefaults:
+def configure_defaults(*, workers=_UNSET, backend=_UNSET, cache=_UNSET) -> EngineDefaults:
     """Set process-wide engine defaults; returns the previous defaults."""
     previous = replace(_DEFAULTS)
     if workers is not _UNSET:
         _DEFAULTS.workers = int(workers)
     if backend is not _UNSET:
         _DEFAULTS.backend = backend
+    if cache is not _UNSET:
+        _DEFAULTS.cache = cache
     return previous
 
 
@@ -150,7 +161,14 @@ class ExecutionEngine:
             seeding, fan-out child seeds) derives from it.
         workers: process-pool width for :meth:`map`; ``0``/``1`` = serial.
             ``None`` falls back to the process-wide default.
-        cache_size: LRU capacity of the compiled-circuit cache.
+        cache_size: LRU capacity of the compiled-circuit cache (ignored
+            when an explicit or default shared ``cache`` is in effect).
+        cache: compiled-circuit cache to use; ``None`` falls back to the
+            process-wide shared cache from :func:`configure_defaults` if
+            one is installed, else a private per-engine cache.  Sharing a
+            cache across engines never changes results — compiled
+            templates are pure functions of the cache key — it only skips
+            repeat synthesis.
     """
 
     def __init__(
@@ -160,14 +178,19 @@ class ExecutionEngine:
         seed: SeedLike = None,
         workers: Optional[int] = None,
         cache_size: int = 256,
+        cache: Optional[CircuitCache] = None,
     ) -> None:
         if backend is None:
             backend = _DEFAULTS.backend
         if workers is None:
             workers = _DEFAULTS.workers
+        if cache is None:
+            cache = _DEFAULTS.cache
         self.workers = int(workers)
         self.cache_size = int(cache_size)
-        self._cache: Optional[CircuitCache] = CircuitCache(cache_size)
+        self._cache: Optional[CircuitCache] = (
+            cache if cache is not None else CircuitCache(cache_size)
+        )
         self._pool: Optional[ProcessPoolExecutor] = None
         self._bank = SeedBank(seed)
         self._rng = self._bank.generator()

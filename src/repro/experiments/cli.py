@@ -10,6 +10,9 @@ Usage::
     python -m repro fig13 --quick --trace-out trace.jsonl
     python -m repro table2 --engine-workers 4
     python -m repro solve F1 --seed 7 --shots 256 --restarts 2
+    python -m repro solve F1 --timeout 30
+    python -m repro serve --port 8042 --service-workers 4
+    python -m repro --version
 
 Each experiment prints the same rows/series the paper reports.  The
 ``--quick`` flag shrinks iteration budgets for smoke runs; benchmark-grade
@@ -29,7 +32,13 @@ backend.
 
 ``solve`` is a single-solver subcommand that runs Rasengan on one
 benchmark and prints a deterministic JSON record; CI diffs its output
-across ``--engine-workers`` settings.
+across ``--engine-workers`` settings.  ``--timeout`` enforces a
+wall-clock limit through the service's job-deadline machinery (exit
+code 3 on expiry).
+
+``serve`` starts the long-running solve service (job queue, dedup,
+worker pool, JSON/HTTP API — see ``docs/SERVICE.md``) and blocks until
+interrupted; shutdown drains in-flight jobs.
 """
 
 from __future__ import annotations
@@ -39,8 +48,10 @@ import json
 import sys
 from typing import Callable, Dict, List, Tuple
 
-from repro import telemetry
+from repro import __version__, telemetry
 from repro.engine import configure_defaults
+
+_VERSION_TEXT = f"repro {__version__}"
 
 
 def _table1(quick: bool) -> str:
@@ -166,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.",
     )
+    parser.add_argument("--version", action="version", version=_VERSION_TEXT)
     parser.add_argument(
         "experiments",
         nargs="*",
@@ -228,6 +240,14 @@ def build_solve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--restarts", type=int, default=1, help="independent optimizer starts"
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock limit enforced through the service job-deadline "
+        "machinery; exit code 3 on expiry",
+    )
     _add_engine_arguments(parser)
     return parser
 
@@ -235,6 +255,7 @@ def build_solve_parser() -> argparse.ArgumentParser:
 def _solve_main(argv: List[str]) -> int:
     from repro.core.solver import RasenganConfig, RasenganSolver
     from repro.problems.registry import make_benchmark
+    from repro.service.jobs import JobTimeoutError, run_with_deadline
 
     args = build_solve_parser().parse_args(argv)
     config = RasenganConfig(
@@ -247,21 +268,88 @@ def _solve_main(argv: List[str]) -> int:
     problem = make_benchmark(args.benchmark, case=args.case)
     solver = RasenganSolver(problem, backend=args.backend, config=config)
     try:
-        result = solver.solve()
+        result = run_with_deadline(
+            solver.solve, args.timeout, label=f"solve {args.benchmark}"
+        )
+    except JobTimeoutError as exc:
+        print(json.dumps({"error": str(exc)}), file=sys.stderr)
+        return 3
     finally:
         solver.engine.close()
-    payload = {
-        "problem": result.problem_name,
-        "arg": result.arg,
-        "expectation": result.expectation_value,
-        "in_constraints_rate": result.in_constraints_rate,
-        "parameters": [float(value) for value in result.best_parameters],
-        "distribution": {
-            str(key): value
-            for key, value in sorted(result.final_distribution.items())
-        },
-    }
-    print(json.dumps(payload, sort_keys=True))
+    print(json.dumps(result.to_json_dict(), sort_keys=True))
+    return 0
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the long-running solve service with a JSON/HTTP "
+        "API (see docs/SERVICE.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8042, help="TCP port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--service-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker threads draining the job queue",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="JSONL result-store persistence file (replayed on startup)",
+    )
+    parser.add_argument(
+        "--store-capacity",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="in-memory result store LRU capacity",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request"
+    )
+    _add_engine_arguments(parser)
+    return parser
+
+
+def _serve_main(argv: List[str]) -> int:
+    from repro.service.http import ServiceServer
+    from repro.service.store import ResultStore
+    from repro.service.workers import SolverService
+
+    args = build_serve_parser().parse_args(argv)
+    engine_overrides = {}
+    if args.engine_workers is not None:
+        engine_overrides["workers"] = args.engine_workers
+    if args.backend is not None:
+        engine_overrides["backend"] = args.backend
+    if engine_overrides:
+        configure_defaults(**engine_overrides)
+    # The service's /metrics endpoint renders the active collector, so
+    # serving always runs under telemetry.
+    telemetry.enable()
+    store = ResultStore(capacity=args.store_capacity, path=args.store)
+    service = SolverService(workers=args.service_workers, store=store).start()
+    server = ServiceServer(
+        service, host=args.host, port=args.port, quiet=not args.verbose
+    )
+    host, port = server.address
+    print(f"repro service {__version__} listening on http://{host}:{port}",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("draining in-flight jobs ...", flush=True)
+    finally:
+        server.stop()
+        service.close(drain=True)
+        telemetry.disable()
+    print("service stopped", flush=True)
     return 0
 
 
@@ -270,6 +358,8 @@ def main(argv: List[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "solve":
         return _solve_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.experiments:
         for name, (description, _) in EXPERIMENTS.items():

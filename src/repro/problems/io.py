@@ -11,12 +11,17 @@ benchmark" protocol.
 >>> clone = problem_from_dict(problem_to_dict(problem))
 >>> clone.optimal_value == problem.optimal_value
 True
+
+:func:`problem_fingerprint` derives a canonical content hash from the
+same serialization — the identity key the solve service's deduplication
+is built on (see ``docs/SERVICE.md``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Union
 
 import networkx as nx
 import numpy as np
@@ -40,13 +45,18 @@ def problem_to_dict(problem: ConstrainedBinaryProblem) -> Dict[str, Any]:
             "assign_costs": problem.assign_costs.tolist(),
         }
     if isinstance(problem, KPartitionProblem):
+        # Serialise the instance's own edge tuple (captured at
+        # construction) rather than re-iterating the caller's graph: the
+        # edge *order* fixes the objective's floating-point summation
+        # order, so this is what a bit-for-bit round-trip must preserve —
+        # and it stays correct even if the graph is mutated afterwards.
         return {
             "type": "k_partition",
             "name": problem.name,
             "num_elements": problem.num_elements,
             "edges": [
-                [int(u), int(v), float(data.get("weight", 1.0))]
-                for u, v, data in problem.graph.edges(data=True)
+                [int(u), int(v), float(weight)]
+                for u, v, weight in problem._edges
             ],
             "part_sizes": list(problem.part_sizes),
         }
@@ -122,3 +132,60 @@ def problem_to_json(problem: ConstrainedBinaryProblem) -> str:
 def problem_from_json(text: str) -> ConstrainedBinaryProblem:
     """Inverse of :func:`problem_to_json`."""
     return problem_from_dict(json.loads(text))
+
+
+def _plain(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays to plain Python values."""
+    if isinstance(value, np.ndarray):
+        return [_plain(item) for item in value.tolist()]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(key): _plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_plain(item) for item in value)
+    return value
+
+
+def canonical_problem_payload(
+    problem: Union[ConstrainedBinaryProblem, Dict[str, Any]]
+) -> Dict[str, Any]:
+    """The canonical serialized form of a problem (instance or payload).
+
+    Payload dicts are round-tripped through the problem constructor, so
+    any two payloads describing the same instance — regardless of dict
+    key order, numpy dtypes, int-vs-float cost literals, or ``set`` vs
+    sorted-list subsets — normalise to an identical dict.  Edge *order*
+    is deliberately preserved: for the graph problems it determines the
+    variable layout, so reordering edges yields a semantically distinct
+    (bit-level incompatible) instance.
+    """
+    if not isinstance(problem, ConstrainedBinaryProblem):
+        problem = problem_from_dict(_plain(dict(problem)))
+    return _plain(problem_to_dict(problem))
+
+
+def problem_fingerprint(
+    problem: Union[ConstrainedBinaryProblem, Dict[str, Any]]
+) -> str:
+    """Stable SHA-256 content hash of a problem instance.
+
+    Built on :func:`canonical_problem_payload` + key-sorted compact JSON,
+    so the hash is invariant to serialization noise but distinguishes any
+    change that could alter solver output (costs, structure, edge order,
+    name — the name is embedded in result records).
+
+    >>> from repro.problems import make_benchmark
+    >>> a = problem_fingerprint(make_benchmark("F1", 0))
+    >>> b = problem_fingerprint(problem_to_dict(make_benchmark("F1", 0)))
+    >>> a == b and len(a) == 64
+    True
+    """
+    text = json.dumps(
+        canonical_problem_payload(problem),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

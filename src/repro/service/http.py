@@ -1,0 +1,311 @@
+"""Minimal JSON/HTTP API over :class:`~repro.service.workers.SolverService`.
+
+Stdlib-only (``http.server``).  Endpoints (see ``docs/SERVICE.md`` for
+the full schema):
+
+* ``POST /jobs`` — submit a solve; body carries ``problem`` *or*
+  ``benchmark``/``case`` plus ``config``/``backend``/``priority``/
+  ``timeout``/``max_retries``/``retry_backoff``; ``"wait": true`` blocks
+  (up to ``wait_timeout`` seconds) until the job is terminal.
+  Responds ``201`` with the job record.
+* ``GET /jobs`` — all job records (summaries).
+* ``GET /jobs/<id>`` — one job record (``404`` when unknown);
+  ``?wait=SECONDS`` blocks until terminal or the wait expires.
+* ``POST /jobs/<id>/cancel`` — request cancellation.
+* ``GET /healthz`` — liveness: status, package version, worker count,
+  queue depth, per-state job counts.
+* ``GET /metrics`` — the active telemetry collector's counters and
+  histogram aggregates as JSON (``?format=text`` renders flat
+  ``name value`` lines); empty tables when telemetry is disabled.
+
+The server is a ``ThreadingHTTPServer``: handlers run on their own
+threads and only touch the service through its thread-safe surface.
+Request handling increments ``service.http.requests`` /
+``service.http.errors``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro import __version__, telemetry
+from repro.exceptions import ReproError
+from repro.service.jobs import ServiceError
+from repro.service.workers import SolverService
+
+#: Submission body keys forwarded to SolverService.submit.
+_SUBMIT_KEYS = (
+    "benchmark",
+    "case",
+    "config",
+    "backend",
+    "priority",
+    "timeout",
+    "max_retries",
+    "retry_backoff",
+)
+
+
+class _ApiError(Exception):
+    """Internal: maps straight to an HTTP error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _metrics_payload() -> Dict[str, Any]:
+    collector = telemetry.active()
+    if collector is None:
+        return {"enabled": False, "counters": {}, "histograms": {}}
+    summary = collector.summary()
+    return {
+        "enabled": True,
+        "counters": summary["counters"],
+        "histograms": summary["histograms"],
+        "spans": summary["spans"],
+        "dropped_spans": summary["dropped_spans"],
+    }
+
+
+def _metrics_text(payload: Dict[str, Any]) -> str:
+    """Flat ``name value`` lines (one histogram stat per line)."""
+    lines = []
+    for name in sorted(payload["counters"]):
+        lines.append(f"{name} {payload['counters'][name]:g}")
+    for name in sorted(payload["histograms"]):
+        stats = payload["histograms"][name]
+        for stat in ("count", "total", "min", "max", "mean"):
+            lines.append(f"{name}.{stat} {stats[stat]:g}")
+    return "\n".join(lines) + "\n"
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the attached :class:`SolverService`."""
+
+    server_version = f"repro-service/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    #: Set by ServiceServer on the handler class.
+    service: SolverService = None  # type: ignore[assignment]
+    quiet: bool = True
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except ValueError as exc:
+            raise _ApiError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _ApiError(400, "JSON body must be an object")
+        return payload
+
+    def _route(self) -> Tuple[str, Dict[str, Any]]:
+        parsed = urlparse(self.path)
+        query = {
+            key: values[-1] for key, values in parse_qs(parsed.query).items()
+        }
+        return parsed.path.rstrip("/") or "/", query
+
+    def _dispatch(self, method: str) -> None:
+        telemetry.add("service.http.requests")
+        try:
+            path, query = self._route()
+            handler = getattr(self, f"_{method}_{_route_name(path)}", None)
+            if handler is None:
+                raise _ApiError(404, f"no route for {method.upper()} {path}")
+            handler(path, query)
+        except _ApiError as exc:
+            telemetry.add("service.http.errors")
+            self._send_json(exc.status, {"error": str(exc)})
+        except (ServiceError, ReproError, ValueError, TypeError) as exc:
+            telemetry.add("service.http.errors")
+            self._send_json(400, {"error": f"{type(exc).__name__}: {exc}"})
+        except Exception as exc:  # noqa: BLE001 — keep the server alive
+            telemetry.add("service.http.errors")
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self._dispatch("get")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("post")
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def _get_healthz(self, path: str, query: Dict[str, Any]) -> None:
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "version": __version__,
+                "workers": self.service.workers,
+                "queue_depth": len(self.service.queue),
+                "jobs": self.service.counts(),
+                "dedup_inflight": self.service.dedup.inflight(),
+                "store_entries": len(self.service.store),
+            },
+        )
+
+    def _get_metrics(self, path: str, query: Dict[str, Any]) -> None:
+        payload = _metrics_payload()
+        if query.get("format") == "text":
+            self._send_text(200, _metrics_text(payload))
+        else:
+            self._send_json(200, payload)
+
+    def _get_jobs(self, path: str, query: Dict[str, Any]) -> None:
+        parts = path.strip("/").split("/")
+        if len(parts) == 1:
+            records = [job.to_dict() for job in self.service.jobs()]
+            self._send_json(200, {"jobs": records})
+            return
+        if len(parts) != 2:
+            raise _ApiError(404, f"no route for GET {path}")
+        job = self.service.get(parts[1])
+        if job is None:
+            raise _ApiError(404, f"unknown job {parts[1]!r}")
+        if "wait" in query:
+            try:
+                wait_seconds = float(query["wait"])
+            except ValueError as exc:
+                raise _ApiError(400, "wait must be a number of seconds") from exc
+            job.wait(wait_seconds)
+        self._send_json(200, job.to_dict())
+
+    def _post_jobs(self, path: str, query: Dict[str, Any]) -> None:
+        parts = path.strip("/").split("/")
+        if len(parts) == 1:
+            self._submit(self._read_body())
+            return
+        if len(parts) == 3 and parts[2] == "cancel":
+            job = self.service.get(parts[1])
+            if job is None:
+                raise _ApiError(404, f"unknown job {parts[1]!r}")
+            self.service.cancel(job.id)
+            self._send_json(200, job.to_dict())
+            return
+        raise _ApiError(404, f"no route for POST {path}")
+
+    def _submit(self, body: Dict[str, Any]) -> None:
+        wait = bool(body.pop("wait", False))
+        wait_timeout = body.pop("wait_timeout", None)
+        problem = body.pop("problem", None)
+        kwargs = {}
+        for key in _SUBMIT_KEYS:
+            if key in body:
+                kwargs[key] = body.pop(key)
+        if body:
+            raise _ApiError(
+                400, f"unknown submission field(s): {', '.join(sorted(body))}"
+            )
+        job = self.service.submit(problem, **kwargs)
+        if wait:
+            job.wait(None if wait_timeout is None else float(wait_timeout))
+        self._send_json(201, job.to_dict())
+
+
+def _route_name(path: str) -> str:
+    """Map a URL path to a handler-method suffix (first segment)."""
+    first = path.strip("/").split("/", 1)[0]
+    return first or "root"
+
+
+class ServiceServer:
+    """A threaded HTTP server bound to one :class:`SolverService`.
+
+    Args:
+        service: the (started) service to expose.
+        host: bind address.
+        port: TCP port; ``0`` picks an ephemeral port (see
+            :attr:`address`).
+        quiet: suppress per-request stderr logging.
+    """
+
+    def __init__(
+        self,
+        service: SolverService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        quiet: bool = True,
+    ) -> None:
+        handler = type(
+            "BoundServiceRequestHandler",
+            (ServiceRequestHandler,),
+            {"service": service, "quiet": quiet},
+        )
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually-bound (host, port)."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceServer":
+        """Serve requests on a background thread."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-service-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``repro serve`` foreground)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Stop accepting requests and join the serving thread."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,111 @@
+"""Result store: in-memory LRU keyed by dedup fingerprint, with optional
+JSONL persistence.
+
+The store is the service's cross-submission memory: a submission whose
+fingerprint is already stored completes instantly without touching the
+queue.  When constructed with a ``path``, every insert is appended as
+one JSON line (fingerprint + result record) and an existing file is
+replayed on startup, so a restarted server keeps serving previously
+computed results.  The file is append-only; on reload, the *last* record
+per fingerprint wins and the LRU capacity is re-applied.
+
+Counters: ``service.store.hits`` / ``service.store.misses`` /
+``service.store.evictions`` / ``service.store.reloaded``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from repro import telemetry
+from repro.service.jobs import ServiceError
+
+
+class ResultStore:
+    """Thread-safe LRU of result records keyed by job fingerprint.
+
+    Args:
+        capacity: maximum in-memory entries; least-recently-used records
+            are evicted first (persisted lines are never rewritten, so an
+            evicted record survives on disk and reappears on reload).
+        path: optional JSONL persistence file; parent directory must
+            exist.  ``None`` keeps the store memory-only.
+    """
+
+    def __init__(self, capacity: int = 1024, path: Optional[str] = None) -> None:
+        if capacity < 1:
+            raise ServiceError("store capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.path = path
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        if path is not None and os.path.exists(path):
+            self._reload(path)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The stored result for ``fingerprint``, or ``None``."""
+        with self._lock:
+            record = self._entries.get(fingerprint)
+            if record is None:
+                telemetry.add("service.store.misses")
+                return None
+            self._entries.move_to_end(fingerprint)
+            telemetry.add("service.store.hits")
+            return record
+
+    def put(self, fingerprint: str, record: Dict[str, Any]) -> None:
+        """Insert (or refresh) a result record and persist it if enabled."""
+        with self._lock:
+            self._entries[fingerprint] = record
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                telemetry.add("service.store.evictions")
+            if self.path is not None:
+                line = json.dumps(
+                    {"fingerprint": fingerprint, "result": record},
+                    sort_keys=True,
+                )
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+
+    def _reload(self, path: str) -> None:
+        """Replay a persistence file (last record per fingerprint wins)."""
+        loaded = 0
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    fingerprint = payload["fingerprint"]
+                    record = payload["result"]
+                except (ValueError, KeyError, TypeError) as exc:
+                    raise ServiceError(
+                        f"corrupt result store line in {path!r}: {exc}"
+                    ) from exc
+                self._entries[fingerprint] = record
+                self._entries.move_to_end(fingerprint)
+                loaded += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        if loaded:
+            telemetry.add("service.store.reloaded", loaded)
+
+    def clear(self) -> None:
+        """Drop all in-memory entries (the persistence file is untouched)."""
+        with self._lock:
+            self._entries.clear()

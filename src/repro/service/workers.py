@@ -1,0 +1,375 @@
+"""The solve service: queue + dedup + store + worker pool.
+
+:class:`SolverService` is the in-process orchestrator behind both the
+HTTP API (:mod:`repro.service.http`) and direct Python embedding:
+
+* :meth:`submit` resolves the problem payload, fingerprints the request,
+  and short-circuits through the result store (instant ``DONE``) or the
+  dedup index (coalesce onto the identical in-flight job) before ever
+  touching the queue;
+* worker threads drain the queue through the unified execution engine —
+  the default runner builds a fresh
+  :class:`~repro.core.solver.RasenganSolver` per attempt, so a service
+  result is bit-for-bit identical to a direct ``solve`` run with the
+  same spec;
+* a process-wide shared compiled-circuit cache
+  (:func:`repro.engine.configure_defaults`) is installed for the
+  service's lifetime, so identical submissions amortize circuit
+  synthesis even when dedup cannot coalesce them (e.g. back-to-back
+  rather than concurrent);
+* :meth:`close` supports both graceful drain (finish everything queued)
+  and fast shutdown (cancel queued jobs, finish only what is running) —
+  either way every worker thread is joined, no threads are orphaned.
+
+Failure semantics: a job attempt that raises is retried up to
+``spec.max_retries`` times with exponential backoff; a job whose
+wall-clock deadline expires fails immediately with a timeout error
+(whether it expired waiting in the queue or mid-execution); a failed or
+timed-out primary propagates its failure to every coalesced follower.
+Nothing is stored under a fingerprint except a successful result.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro import telemetry
+from repro.engine import CircuitCache, configure_defaults
+from repro.problems.io import problem_from_dict, problem_to_dict
+from repro.problems.registry import make_benchmark
+from repro.service.dedup import DedupIndex, job_fingerprint
+from repro.service.jobs import (
+    Job,
+    JobQueue,
+    JobSpec,
+    JobState,
+    JobTimeoutError,
+    ServiceError,
+    run_with_deadline,
+)
+from repro.service.store import ResultStore
+
+#: Runner signature: JobSpec -> JSON-compatible result record.
+JobRunner = Callable[[JobSpec], Dict[str, Any]]
+
+
+def default_runner(spec: JobSpec) -> Dict[str, Any]:
+    """Execute one solve through the unified engine.
+
+    Reconstructs the problem and configuration exactly as the ``solve``
+    CLI does, so the returned record is bit-for-bit identical to a
+    direct run with the same spec.
+    """
+    from repro.core.solver import RasenganSolver
+
+    problem = problem_from_dict(spec.problem)
+    config = spec.solver_config()
+    solver = RasenganSolver(problem, backend=spec.backend, config=config)
+    try:
+        result = solver.solve()
+    finally:
+        solver.engine.close()
+    return result.to_json_dict()
+
+
+class SolverService:
+    """Long-running multi-tenant solve service.
+
+    Args:
+        workers: worker-thread count draining the job queue.  Each job
+            may additionally fan out over engine processes via its own
+            ``engine_workers`` config.
+        store: result store (default: a memory-only
+            :class:`~repro.service.store.ResultStore`).
+        runner: job execution function (injectable for tests; default
+            runs :func:`default_runner`).
+        sleep: sleep function used for retry backoff (injectable).
+        shared_cache_size: capacity of the process-wide compiled-circuit
+            cache installed while the service runs; ``0`` disables
+            sharing.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        store: Optional[ResultStore] = None,
+        runner: Optional[JobRunner] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        shared_cache_size: int = 512,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError("workers must be >= 1")
+        self.workers = int(workers)
+        self.queue = JobQueue()
+        self.dedup = DedupIndex()
+        self.store = store if store is not None else ResultStore()
+        self._runner = runner if runner is not None else default_runner
+        self._sleep = sleep
+        self._shared_cache_size = int(shared_cache_size)
+        self._jobs: Dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._running_count = 0
+        self._idle = threading.Condition()
+        self._previous_defaults = None
+        self._started = False
+        self._closed = False
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SolverService":
+        """Install the shared circuit cache and spawn the worker pool."""
+        if self._started:
+            return self
+        if self._closed:
+            raise ServiceError("service already closed")
+        if self._shared_cache_size > 0:
+            self._previous_defaults = configure_defaults(
+                cache=CircuitCache(self._shared_cache_size)
+            )
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        self._started = True
+        return self
+
+    def close(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Shut the service down and join every worker thread.
+
+        ``drain=True`` (graceful) finishes all queued and running jobs
+        first; ``drain=False`` cancels queued jobs (running ones still
+        finish — the engine has no preemption points) before stopping
+        the workers.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._started and drain:
+            self.drain(timeout=timeout)
+        if not drain:
+            # Cancel queued work *before* waking the workers, so none of
+            # it slips through between close() and the cancellations.
+            for job in self.queue.drain_pending():
+                if job.cancel():
+                    self._settle_followers(job)
+        self.queue.close()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = [t for t in self._threads if t.is_alive()]
+        if self._previous_defaults is not None:
+            configure_defaults(cache=self._previous_defaults.cache)
+            self._previous_defaults = None
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until the queue is empty and no job is running.
+
+        Returns True when fully drained, False on timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while len(self.queue) > 0 or self._running_count > 0:
+                if deadline is None:
+                    self._idle.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._idle.wait(remaining):
+                        return False
+        return True
+
+    def __enter__(self) -> "SolverService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        problem: Optional[Dict[str, Any]] = None,
+        *,
+        benchmark: Optional[str] = None,
+        case: int = 0,
+        config: Optional[Dict[str, Any]] = None,
+        backend: Optional[str] = None,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+        max_retries: int = 0,
+        retry_backoff: float = 0.1,
+    ) -> Job:
+        """Submit one solve request; returns its :class:`Job` immediately.
+
+        Exactly one of ``problem`` (a serialized payload) or
+        ``benchmark`` (+ ``case``; resolved through the paper's benchmark
+        registry) must be given.  The request is deduplicated before
+        queueing: a stored result completes the job instantly, an
+        identical in-flight request absorbs it as a follower.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        if (problem is None) == (benchmark is None):
+            raise ServiceError("provide exactly one of problem= or benchmark=")
+        if benchmark is not None:
+            payload = problem_to_dict(make_benchmark(benchmark, case=case))
+        else:
+            # Round-trip through the constructor: validates the payload at
+            # submission time (not on a worker) and canonicalises it so the
+            # fingerprint is independent of the submitter's formatting.
+            payload = problem_to_dict(problem_from_dict(problem))
+        spec = JobSpec(
+            problem=payload,
+            config=dict(config or {}),
+            backend=backend,
+            priority=int(priority),
+            timeout=timeout,
+            max_retries=int(max_retries),
+            retry_backoff=float(retry_backoff),
+        )
+        job = Job(spec, fingerprint=job_fingerprint(spec))
+        with self._jobs_lock:
+            self._jobs[job.id] = job
+        telemetry.add("service.jobs.submitted")
+
+        cached = self.store.get(job.fingerprint)
+        if cached is not None:
+            job.mark_done(cached, from_cache=True)
+            return job
+        primary = self.dedup.admit(job)
+        if primary is not None:
+            # Re-check: the primary may have finished between the store
+            # lookup and admit; settle immediately from its outcome.
+            if primary.state.terminal:
+                self._copy_outcome(primary, job)
+            return job
+        self.queue.put(job)
+        return job
+
+    # ------------------------------------------------------------------
+    # Introspection / control
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._jobs_lock:
+            return list(self._jobs.values())
+
+    def counts(self) -> Dict[str, int]:
+        """Job counts per state (for the health endpoint)."""
+        counts: Dict[str, int] = {state.value: 0 for state in JobState}
+        for job in self.jobs():
+            counts[job.state.value] += 1
+        return counts
+
+    def cancel(self, job_id: str) -> bool:
+        job = self.get(job_id)
+        if job is None:
+            return False
+        cancelled = job.cancel()
+        if cancelled:
+            telemetry.add("service.jobs.cancelled")
+            self._settle_followers(job)
+        return cancelled
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job = self.queue.get()
+            if job is None:
+                return
+            with self._idle:
+                self._running_count += 1
+            try:
+                self._execute(job)
+            finally:
+                with self._idle:
+                    self._running_count -= 1
+                    self._idle.notify_all()
+
+    def _execute(self, job: Job) -> None:
+        if job.expired():
+            telemetry.add("service.jobs.timeouts")
+            job.mark_failed(
+                f"deadline expired after {job.spec.timeout:.3f}s in queue"
+            )
+            self._settle_followers(job)
+            return
+        if not job.mark_running():
+            # Cancelled between dequeue and here.
+            self._settle_followers(job)
+            return
+        spec = job.spec
+        problem_name = spec.problem.get("name", spec.problem.get("type"))
+        with telemetry.span(
+            "service.job",
+            job=job.id,
+            problem=problem_name,
+            priority=spec.priority,
+        ) as job_span:
+            failure: Optional[str] = None
+            record: Optional[Dict[str, Any]] = None
+            for attempt in range(spec.max_retries + 1):
+                job.attempts += 1
+                try:
+                    record = run_with_deadline(
+                        lambda: self._runner(spec),
+                        job.remaining(),
+                        label=job.id,
+                    )
+                    failure = None
+                    break
+                except JobTimeoutError as exc:
+                    telemetry.add("service.jobs.timeouts")
+                    failure = str(exc)
+                    break  # the deadline is gone; retrying cannot help
+                except Exception as exc:  # noqa: BLE001 — jobs isolate failures
+                    failure = f"{type(exc).__name__}: {exc}"
+                    if attempt >= spec.max_retries or job.cancel_requested:
+                        break
+                    telemetry.add("service.jobs.retries")
+                    self._sleep(spec.retry_backoff * (2 ** attempt))
+            job_span.set(attempts=job.attempts, state="failed" if failure else "done")
+            if failure is None and record is not None:
+                telemetry.add("service.jobs.executed")
+                self.store.put(job.fingerprint, record)
+                job.mark_done(record)
+            else:
+                telemetry.add("service.jobs.failed")
+                job.mark_failed(failure or "runner returned no record")
+            if job.started_at is not None and job.finished_at is not None:
+                telemetry.observe(
+                    "service.jobs.run_seconds", job.finished_at - job.started_at
+                )
+        self._settle_followers(job)
+
+    def _settle_followers(self, primary: Job) -> None:
+        """Propagate a terminal primary's outcome to coalesced followers."""
+        if primary.fingerprint is None or primary.coalesced_into is not None:
+            return
+        for follower in self.dedup.resolve(primary.fingerprint, primary):
+            self._copy_outcome(primary, follower)
+
+    @staticmethod
+    def _copy_outcome(primary: Job, follower: Job) -> None:
+        if primary.state is JobState.DONE and primary.result is not None:
+            follower.mark_done(primary.result)
+        elif primary.state is JobState.CANCELLED:
+            follower.cancel()
+        else:
+            follower.mark_failed(
+                primary.error or f"coalesced job {primary.id} failed"
+            )

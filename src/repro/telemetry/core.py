@@ -5,15 +5,17 @@ The design goal is a no-op fast path: all instrumentation funnels through
 module-level attribute (``_ACTIVE``) and returns immediately when no
 collector is installed.  Instrumented code never needs to guard its calls.
 
-Tracing is single-threaded by design (one span stack per collector);
-counters and histograms are plain dict updates.  This matches how the
-solver and simulators execute today — revisit if a parallel executor
-lands.
+Tracing is thread-aware: the collector keeps one span stack per thread,
+so spans opened by concurrent workers (the :mod:`repro.service` worker
+pool) nest correctly within their own thread and become additional roots
+rather than corrupting another thread's stack.  Counter and histogram
+updates are lock-protected; the disabled fast path is unchanged.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -137,6 +139,11 @@ class TelemetryCollector:
             counters/histograms keep aggregating, so long runs degrade to
             metrics-only instead of exhausting memory.
         clock: timestamp source (seconds); injectable for tests.
+
+    Span stacks are per-thread: a span opened on a worker thread nests
+    under that thread's innermost open span (or starts a new root), never
+    under another thread's.  Counters, histograms, and the span budget
+    are guarded by one lock so concurrent workers cannot lose updates.
     """
 
     def __init__(
@@ -150,37 +157,51 @@ class TelemetryCollector:
         self.max_spans = max_spans
         self.dropped_spans = 0
         self._clock = clock
-        self._stack: List[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._span_count = 0
+
+    @property
+    def _stack(self) -> List[Span]:
+        """The calling thread's own span stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ------------------------------------------------------------------
     # Spans
     # ------------------------------------------------------------------
     def start_span(self, name: str, attributes: Dict[str, Any]) -> Optional[Span]:
         """Open a child of the current span (or a new root); may drop."""
-        if self._span_count >= self.max_spans:
-            self.dropped_spans += 1
-            return None
+        with self._lock:
+            if self._span_count >= self.max_spans:
+                self.dropped_spans += 1
+                return None
+            self._span_count += 1
         node = Span(name=name, attributes=attributes, start=self._clock())
-        if self._stack:
-            self._stack[-1].children.append(node)
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(node)
         else:
-            self.roots.append(node)
-        self._stack.append(node)
-        self._span_count += 1
+            with self._lock:
+                self.roots.append(node)
+        stack.append(node)
         return node
 
     def end_span(self, node: Span) -> None:
         node.end = self._clock()
         # Pop through any descendants left open by non-local exits.
-        while self._stack:
-            top = self._stack.pop()
+        stack = self._stack
+        while stack:
+            top = stack.pop()
             if top is node:
                 break
 
     def current_span(self) -> Optional[Span]:
-        """Innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """Innermost open span on the calling thread, if any."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     def iter_spans(self) -> Iterator[Span]:
         """Depth-first iteration over every recorded span."""
@@ -195,32 +216,36 @@ class TelemetryCollector:
     # Metrics
     # ------------------------------------------------------------------
     def add(self, name: str, value: float = 1.0) -> None:
-        self.counters[name] = self.counters.get(name, 0.0) + value
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
 
     def observe(self, name: str, value: float) -> None:
-        histogram = self.histograms.get(name)
-        if histogram is None:
-            histogram = self.histograms[name] = Histogram()
-        histogram.observe(value)
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram()
+            histogram.observe(value)
 
     def counter(self, name: str) -> float:
         return self.counters.get(name, 0.0)
 
     def snapshot_counters(self) -> Dict[str, float]:
         """Copy of the counter table (for before/after deltas)."""
-        return dict(self.counters)
+        with self._lock:
+            return dict(self.counters)
 
     def summary(self) -> Dict[str, Any]:
         """Plain-dict rollup of counters and histogram aggregates."""
-        return {
-            "counters": dict(self.counters),
-            "histograms": {
-                name: histogram.to_dict()
-                for name, histogram in self.histograms.items()
-            },
-            "spans": self._span_count,
-            "dropped_spans": self.dropped_spans,
-        }
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "histograms": {
+                    name: histogram.to_dict()
+                    for name, histogram in self.histograms.items()
+                },
+                "spans": self._span_count,
+                "dropped_spans": self.dropped_spans,
+            }
 
 
 class _NoopSpan:

@@ -7,6 +7,7 @@ import pytest
 from repro.experiments.cli import (
     EXPERIMENTS,
     build_parser,
+    build_serve_parser,
     build_solve_parser,
     main,
 )
@@ -61,6 +62,32 @@ class TestParser:
         assert args.shots == 128
         assert args.engine_workers == 2
 
+    def test_solve_parser_timeout(self):
+        args = build_solve_parser().parse_args(["F1", "--timeout", "30"])
+        assert args.timeout == 30.0
+        assert build_solve_parser().parse_args(["F1"]).timeout is None
+
+    def test_serve_parser(self):
+        args = build_serve_parser().parse_args(
+            ["--port", "0", "--service-workers", "4", "--store", "r.jsonl"]
+        )
+        assert args.port == 0
+        assert args.service_workers == 4
+        assert args.store == "r.jsonl"
+        defaults = build_serve_parser().parse_args([])
+        assert defaults.host == "127.0.0.1"
+        assert defaults.port == 8042
+        assert defaults.service_workers == 2
+        assert defaults.store is None
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
 
 class TestSolveSubcommand:
     def test_solve_prints_json_record(self, capsys):
@@ -78,6 +105,20 @@ class TestSolveSubcommand:
         assert main(argv + ["--engine-workers", "2"]) == 0
         parallel = capsys.readouterr().out
         assert serial == parallel
+
+    def test_solve_timeout_expired_exits_3(self, capsys):
+        assert main(["solve", "F1", "--timeout", "0"]) == 3
+        captured = capsys.readouterr()
+        assert "deadline expired" in captured.err
+        assert captured.out == ""
+
+    def test_solve_generous_timeout_succeeds(self, capsys):
+        assert main(
+            ["solve", "F1", "--seed", "3", "--iterations", "5",
+             "--timeout", "300"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["problem"] == "F1-case0"
 
     def test_engine_defaults_restored_after_run(self, capsys):
         from repro.engine import get_defaults

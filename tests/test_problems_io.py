@@ -6,6 +6,8 @@ import pytest
 from repro.exceptions import ProblemError
 from repro.problems import BENCHMARK_IDS, make_benchmark
 from repro.problems.io import (
+    canonical_problem_payload,
+    problem_fingerprint,
     problem_from_dict,
     problem_from_json,
     problem_to_dict,
@@ -65,3 +67,65 @@ class TestRoundTrip:
         custom = Custom("c", np.ones((1, 2), dtype=np.int64), np.array([1]))
         with pytest.raises(ProblemError):
             problem_to_dict(custom)
+
+
+class TestProblemFingerprint:
+    @pytest.mark.parametrize("benchmark_id", BENCHMARK_IDS)
+    def test_deterministic_across_reconstruction(self, benchmark_id):
+        problem = make_benchmark(benchmark_id, case=0)
+        clone = problem_from_dict(problem_to_dict(problem))
+        assert problem_fingerprint(problem) == problem_fingerprint(clone)
+
+    def test_instance_and_payload_agree(self):
+        problem = make_benchmark("F1", 0)
+        assert problem_fingerprint(problem) == problem_fingerprint(
+            problem_to_dict(problem)
+        )
+
+    def test_stable_across_dict_key_order(self):
+        payload = problem_to_dict(make_benchmark("S1", 0))
+        reversed_payload = dict(reversed(list(payload.items())))
+        assert problem_fingerprint(payload) == problem_fingerprint(
+            reversed_payload
+        )
+
+    def test_stable_across_numpy_dtypes(self):
+        from repro.problems import FacilityLocationProblem
+
+        base = FacilityLocationProblem([1, 2], [[3, 4], [5, 6]], name="flp")
+        narrow = FacilityLocationProblem(
+            np.array([1, 2], dtype=np.int32),
+            np.array([[3, 4], [5, 6]], dtype=np.float32),
+            name="flp",
+        )
+        assert problem_fingerprint(base) == problem_fingerprint(narrow)
+
+    def test_distinguishes_different_instances(self):
+        assert problem_fingerprint(make_benchmark("F1", 0)) != problem_fingerprint(
+            make_benchmark("F1", 1)
+        )
+        assert problem_fingerprint(make_benchmark("F1", 0)) != problem_fingerprint(
+            make_benchmark("K1", 0)
+        )
+
+    def test_name_is_part_of_identity(self):
+        from repro.problems import FacilityLocationProblem
+
+        a = FacilityLocationProblem([1.0], [[2.0]], name="one")
+        b = FacilityLocationProblem([1.0], [[2.0]], name="two")
+        assert problem_fingerprint(a) != problem_fingerprint(b)
+
+    def test_canonical_payload_is_plain_json(self):
+        import json
+
+        payload = canonical_problem_payload(make_benchmark("K1", 0))
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_kpp_serialization_preserves_edge_order(self):
+        """Edge order fixes the objective's float summation order, so a
+        round trip must reproduce it exactly (bit-for-bit objectives)."""
+        problem = make_benchmark("K2", 3)
+        payload = problem_to_dict(problem)
+        assert [tuple(edge) for edge in payload["edges"]] == [
+            (u, v, w) for u, v, w in problem._edges
+        ]
