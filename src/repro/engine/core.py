@@ -43,7 +43,7 @@ from repro.simulators.sampling import counts_from_probabilities
 from repro.simulators.seeding import SeedBank, SeedLike
 from repro.simulators.sparsestate import SparseState
 from repro.simulators.statevector import StatevectorSimulator
-from repro import telemetry
+from repro import faults, telemetry
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -279,6 +279,7 @@ class ExecutionEngine:
         (unpurified) output distribution.
         """
         telemetry.add("engine.executions")
+        faults.point("engine.execute")
         if self.backend is None:
             return self._run_segment_sparse(
                 chain, positions, times, distribution, shots, segment_index
@@ -342,6 +343,7 @@ class ExecutionEngine:
         samples only when ``shots`` is given.
         """
         telemetry.add("engine.executions")
+        faults.point("engine.execute")
         telemetry.add("circuits.executed")
         if self.backend is not None:
             circuit = self.ansatz_circuit(spec, parameters)
@@ -375,6 +377,7 @@ class ExecutionEngine:
         (Grover adaptive search, the quantum annealer).
         """
         telemetry.add("engine.executions")
+        faults.point("engine.execute")
         telemetry.add("circuits.executed")
         telemetry.add("shots.total", shots)
         return counts_from_probabilities(probabilities, shots, self._rng)

@@ -12,6 +12,8 @@ Usage::
     python -m repro solve F1 --seed 7 --shots 256 --restarts 2
     python -m repro solve F1 --timeout 30
     python -m repro serve --port 8042 --service-workers 4
+    python -m repro serve --store results.jsonl --journal journal.jsonl
+    python -m repro serve --chaos-seed 7
     python -m repro --version
 
 Each experiment prints the same rows/series the paper reports.  The
@@ -38,7 +40,12 @@ code 3 on expiry).
 
 ``serve`` starts the long-running solve service (job queue, dedup,
 worker pool, JSON/HTTP API — see ``docs/SERVICE.md``) and blocks until
-interrupted; shutdown drains in-flight jobs.
+interrupted; shutdown drains in-flight jobs.  ``--store`` persists
+results across restarts, ``--journal`` records job lifecycle events so a
+restart reports what a crash interrupted, and ``--chaos-seed`` /
+``--chaos-plan`` run the service under deterministic fault injection
+(see the "Failure semantics & chaos testing" section of
+``docs/SERVICE.md``).
 """
 
 from __future__ import annotations
@@ -311,6 +318,31 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="in-memory result store LRU capacity",
     )
     parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="JSONL job-event journal; on restart the service reports "
+        "jobs a previous process left unfinished",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="enable deterministic fault injection seeded with N "
+        "(default rules: repro.faults.FaultPlan.smoke)",
+    )
+    parser.add_argument(
+        "--chaos-plan",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="replace the smoke rules with point:action[:k=v,...] specs "
+        "(repeatable; e.g. engine.execute:raise:p=0.2 or "
+        "store.append:truncate:every=5); implies --chaos-seed 0 when "
+        "no seed is given",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
     )
     _add_engine_arguments(parser)
@@ -318,7 +350,9 @@ def build_serve_parser() -> argparse.ArgumentParser:
 
 
 def _serve_main(argv: List[str]) -> int:
+    from repro import faults
     from repro.service.http import ServiceServer
+    from repro.service.journal import JobJournal
     from repro.service.store import ResultStore
     from repro.service.workers import SolverService
 
@@ -333,8 +367,30 @@ def _serve_main(argv: List[str]) -> int:
     # The service's /metrics endpoint renders the active collector, so
     # serving always runs under telemetry.
     telemetry.enable()
+    injector = None
+    if args.chaos_seed is not None or args.chaos_plan:
+        seed = args.chaos_seed if args.chaos_seed is not None else 0
+        if args.chaos_plan:
+            plan = faults.FaultPlan.parse(args.chaos_plan, seed=seed)
+        else:
+            plan = faults.FaultPlan.smoke(seed=seed)
+        injector = faults.install(plan)
+        rules = ", ".join(
+            f"{rule.point}:{rule.action}" for rule in plan.rules
+        )
+        print(f"chaos mode: seed={seed} rules=[{rules}]", flush=True)
     store = ResultStore(capacity=args.store_capacity, path=args.store)
-    service = SolverService(workers=args.service_workers, store=store).start()
+    journal = JobJournal(args.journal) if args.journal else None
+    service = SolverService(
+        workers=args.service_workers, store=store, journal=journal
+    ).start()
+    interrupted = service.interrupted_jobs()
+    if interrupted:
+        print(
+            f"previous run left {len(interrupted)} job(s) unfinished: "
+            + ", ".join(interrupted),
+            flush=True,
+        )
     server = ServiceServer(
         service, host=args.host, port=args.port, quiet=not args.verbose
     )
@@ -348,6 +404,10 @@ def _serve_main(argv: List[str]) -> int:
     finally:
         server.stop()
         service.close(drain=True)
+        if injector is not None:
+            faults.uninstall()
+            print(f"chaos mode injected {len(injector.log)} fault(s)",
+                  flush=True)
         telemetry.disable()
     print("service stopped", flush=True)
     return 0

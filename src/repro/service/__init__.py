@@ -11,8 +11,10 @@ Layers (each its own module, composable without the others):
   the thread-safe priority :class:`~repro.service.jobs.JobQueue`;
 * :mod:`repro.service.dedup` — canonical content hashing of
   (problem, solver config, backend) and in-flight coalescing;
-* :mod:`repro.service.store` — LRU result store with optional JSONL
-  persistence;
+* :mod:`repro.service.store` — LRU result store with crash-safe JSONL
+  persistence (torn-tail quarantine, atomic compaction);
+* :mod:`repro.service.journal` — append-only job-event journal so a
+  restarted service can report what died mid-flight;
 * :mod:`repro.service.workers` — :class:`SolverService`, the worker
   pool draining the queue through :mod:`repro.engine`;
 * :mod:`repro.service.http` / :mod:`repro.service.client` — the JSON
@@ -36,6 +38,7 @@ execution between deduplicated submissions sound.
 from repro.service.dedup import DedupIndex, job_fingerprint
 from repro.service.client import ServiceClient, ServiceClientError
 from repro.service.http import ServiceServer
+from repro.service.journal import JobJournal
 from repro.service.jobs import (
     Deadline,
     Job,
@@ -54,6 +57,7 @@ __all__ = [
     "Deadline",
     "DedupIndex",
     "Job",
+    "JobJournal",
     "JobQueue",
     "JobSpec",
     "JobState",

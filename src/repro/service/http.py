@@ -32,7 +32,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from repro import __version__, telemetry
+from repro import __version__, faults, telemetry
 from repro.exceptions import ReproError
 from repro.service.jobs import ServiceError
 from repro.service.workers import SolverService
@@ -140,6 +140,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         telemetry.add("service.http.requests")
         try:
+            # Chaos hook: an injected fault here exercises the 500 path
+            # without touching the service (the server must stay alive).
+            faults.point("http.handler")
             path, query = self._route()
             handler = getattr(self, f"_{method}_{_route_name(path)}", None)
             if handler is None:
@@ -175,6 +178,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 "jobs": self.service.counts(),
                 "dedup_inflight": self.service.dedup.inflight(),
                 "store_entries": len(self.service.store),
+                "store_quarantined": self.service.store.quarantined,
+                "interrupted_previous_run": len(
+                    self.service.interrupted_jobs()
+                ),
             },
         )
 

@@ -150,6 +150,7 @@ class Job:
         self.finished_at: Optional[float] = None
         self._lock = threading.Lock()
         self._done = threading.Event()
+        self._cancel_event = threading.Event()
         self.cancel_requested = False
 
     # ------------------------------------------------------------------
@@ -202,12 +203,38 @@ class Job:
         """
         with self._lock:
             self.cancel_requested = True
+            self._cancel_event.set()
             if self.state is JobState.PENDING:
                 self.state = JobState.CANCELLED
                 self.finished_at = self._clock()
                 self._done.set()
                 return True
             return self.state is JobState.CANCELLED
+
+    def mark_cancelled(self) -> bool:
+        """Settle a non-terminal job as CANCELLED (worker-side honor path).
+
+        Used by workers that observe ``cancel_requested`` between retry
+        attempts — unlike :meth:`cancel`, this also settles a RUNNING
+        job.  Returns True when the job ends up cancelled.
+        """
+        with self._lock:
+            self.cancel_requested = True
+            self._cancel_event.set()
+            if self.state.terminal:
+                return self.state is JobState.CANCELLED
+            self.state = JobState.CANCELLED
+            self.finished_at = self._clock()
+            self._done.set()
+            return True
+
+    def wait_cancel(self, timeout: Optional[float]) -> bool:
+        """Block up to ``timeout`` seconds, waking early on cancellation.
+
+        The retry-backoff sleep: returns True when cancellation was
+        requested (callers should stop retrying immediately).
+        """
+        return self._cancel_event.wait(timeout)
 
     def _finish(self, state, *, result=None, error=None, from_cache=False) -> bool:
         with self._lock:

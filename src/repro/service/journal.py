@@ -1,0 +1,158 @@
+"""Job-event journal: an append-only JSONL record of job lifecycle.
+
+The result store remembers *successful* work; the journal remembers
+*everything that happened* — submissions, executions starting, terminal
+outcomes, worker crashes — so a restarted service can report what died
+mid-flight instead of silently forgetting it.  One JSON object per
+line::
+
+    {"event": "running", "job": "1f2e3d4c5b6a", "fingerprint": "9c0f…",
+     "ts": 1754500000.0}
+
+On construction over an existing file the journal replays it and
+computes :attr:`interrupted`: the job ids whose last recorded event is
+non-terminal (``submitted``/``running``) before the new
+``service.start`` marker — i.e. jobs a previous process accepted but
+never settled.  The count lands in ``service.journal.interrupted`` and
+the ids are exposed through
+:meth:`~repro.service.workers.SolverService.interrupted_jobs` and the
+``/healthz`` endpoint.
+
+Durability mirrors the result store: appends happen under their own
+lock with a ``journal.append`` fault point, failures are contained
+(``service.journal.append_errors``), and replay tolerates a torn
+trailing line (``service.journal.quarantined``) — a journal exists to
+survive crashes, so it must never brick a restart itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro import faults, telemetry
+
+#: Events that settle a job (mirror JobState terminal states, plus the
+#: crash marker recorded when a worker dies holding the job).
+TERMINAL_EVENTS = frozenset({"done", "failed", "cancelled", "crashed"})
+
+#: Non-terminal lifecycle events.
+OPEN_EVENTS = frozenset({"submitted", "running"})
+
+
+class JobJournal:
+    """Append-only JSONL journal of job lifecycle events.
+
+    Args:
+        path: journal file; created on first event.  An existing file is
+            replayed to find jobs interrupted by a previous process.
+        clock: wall-clock source for event timestamps (injectable).
+    """
+
+    def __init__(self, path: str, *, clock=time.time) -> None:
+        self.path = path
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: Job ids a previous process left non-terminal.
+        self.interrupted: List[str] = []
+        #: Torn trailing lines skipped during replay.
+        self.quarantined = 0
+        if os.path.exists(path):
+            self._replay(path)
+        if self.interrupted:
+            telemetry.add(
+                "service.journal.interrupted", len(self.interrupted)
+            )
+        self.record("service.start")
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        event: str,
+        job_id: Optional[str] = None,
+        *,
+        fingerprint: Optional[str] = None,
+        detail: Optional[str] = None,
+    ) -> None:
+        """Append one event; failures are contained, never raised."""
+        entry: Dict[str, Any] = {"event": event, "ts": self._clock()}
+        if job_id is not None:
+            entry["job"] = job_id
+        if fingerprint is not None:
+            entry["fingerprint"] = fingerprint
+        if detail is not None:
+            entry["detail"] = detail
+        data = (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
+        try:
+            with self._lock:
+                directive = faults.point("journal.append")
+                if directive is not None:
+                    with open(self.path, "ab") as handle:
+                        handle.write(directive.cut(data))
+                    raise faults.InjectedFault(
+                        f"torn journal append at {self.path!r}"
+                    )
+                with open(self.path, "ab") as handle:
+                    handle.write(data)
+        except Exception:  # noqa: BLE001 — the journal is best-effort
+            telemetry.add("service.journal.append_errors")
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def _replay(self, path: str) -> None:
+        """Compute the interrupted-job set from an existing journal.
+
+        Tolerates a torn trailing line (quarantined and truncated away,
+        like the result store); any other malformed line is skipped —
+        the journal is advisory history, losing one event must not stop
+        a restart.
+        """
+        with open(path, "rb") as handle:
+            data = handle.read()
+        chunks = data.split(b"\n")
+        last_payload = None
+        for index, chunk in enumerate(chunks):
+            if chunk.strip():
+                last_payload = index
+        open_jobs: Dict[str, str] = {}
+        good_end = 0
+        offset = 0
+        torn = False
+        for index, chunk in enumerate(chunks):
+            offset += len(chunk) + 1
+            if not chunk.strip():
+                if index < len(chunks) - 1:
+                    good_end = min(offset, len(data))
+                continue
+            try:
+                entry = json.loads(chunk.decode("utf-8"))
+                event = entry["event"]
+            except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                if index == last_payload:
+                    torn = True
+                    self.quarantined += 1
+                    telemetry.add("service.journal.quarantined")
+                    break
+                continue  # skip malformed interior events, keep going
+            good_end = min(offset, len(data))
+            job_id = entry.get("job")
+            if event == "service.start":
+                # A previous clean-or-crashed epoch boundary: anything
+                # still open before it was interrupted even earlier.
+                continue
+            if job_id is None:
+                continue
+            if event in TERMINAL_EVENTS:
+                open_jobs.pop(job_id, None)
+            elif event in OPEN_EVENTS:
+                open_jobs[job_id] = event
+        if torn:
+            with open(path, "r+b") as handle:
+                handle.truncate(good_end)
+        self.interrupted = sorted(open_jobs)

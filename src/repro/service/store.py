@@ -1,4 +1,4 @@
-"""Result store: in-memory LRU keyed by dedup fingerprint, with optional
+"""Result store: in-memory LRU keyed by dedup fingerprint, with durable
 JSONL persistence.
 
 The store is the service's cross-submission memory: a submission whose
@@ -6,11 +6,36 @@ fingerprint is already stored completes instantly without touching the
 queue.  When constructed with a ``path``, every insert is appended as
 one JSON line (fingerprint + result record) and an existing file is
 replayed on startup, so a restarted server keeps serving previously
-computed results.  The file is append-only; on reload, the *last* record
-per fingerprint wins and the LRU capacity is re-applied.
+computed results.  The file is append-only between compactions; on
+reload, the *last* record per fingerprint wins and the LRU capacity is
+re-applied.
+
+Durability contract (exercised by the chaos suite,
+``tests/test_service_chaos.py``):
+
+* **Torn tails never brick a restart.**  A crash mid-append leaves a
+  truncated final line; reload quarantines it (counted in
+  ``service.store.quarantined``), repairs the file by truncating the
+  torn bytes, and keeps every intact record.  Corruption *before* the
+  final record still raises :class:`ServiceError` — that is structural
+  damage, not a torn tail, and silently dropping interior history would
+  serve wrong answers.
+* **Appends happen outside the entry lock.**  ``put`` updates the LRU
+  under ``_lock``, then persists under a separate ``_io_lock`` — a slow
+  disk (or an injected ``store.append`` latency fault) never blocks
+  readers.  A failed append is contained: the in-memory entry survives,
+  ``service.store.append_errors`` counts the miss, and the record is
+  re-persisted by the next compaction.
+* **Compaction is atomic.**  :meth:`compact` snapshots the live entries
+  to a temp file in the same directory, fsyncs, and ``os.replace``\\ s it
+  over the log — a crash at any instant leaves either the old log or
+  the new snapshot, never a hybrid.  Compaction runs automatically once
+  the log grows past ``compact_factor ×`` capacity lines.
 
 Counters: ``service.store.hits`` / ``service.store.misses`` /
-``service.store.evictions`` / ``service.store.reloaded``.
+``service.store.evictions`` / ``service.store.reloaded`` /
+``service.store.quarantined`` / ``service.store.append_errors`` /
+``service.store.compactions``.
 """
 
 from __future__ import annotations
@@ -21,7 +46,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.service.jobs import ServiceError
 
 
@@ -30,19 +55,37 @@ class ResultStore:
 
     Args:
         capacity: maximum in-memory entries; least-recently-used records
-            are evicted first (persisted lines are never rewritten, so an
-            evicted record survives on disk and reappears on reload).
+            are evicted first (persisted lines survive on disk until the
+            next compaction, so an evicted record reappears on reload).
         path: optional JSONL persistence file; parent directory must
             exist.  ``None`` keeps the store memory-only.
+        compact_factor: automatic compaction triggers once the log holds
+            more than ``compact_factor * capacity`` lines (minimum 64);
+            ``0`` disables automatic compaction.
     """
 
-    def __init__(self, capacity: int = 1024, path: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        capacity: int = 1024,
+        path: Optional[str] = None,
+        *,
+        compact_factor: int = 4,
+    ) -> None:
         if capacity < 1:
             raise ServiceError("store capacity must be >= 1")
         self.capacity = int(capacity)
         self.path = path
+        self.compact_factor = int(compact_factor)
         self._lock = threading.Lock()
+        self._io_lock = threading.Lock()
         self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        #: Lines currently in the persistence file (drives auto-compaction).
+        self._persisted_lines = 0
+        #: Byte offset to truncate back to before the next append, set
+        #: when a failed append may have left torn bytes on disk.
+        self._needs_repair: Optional[int] = None
+        #: Torn trailing lines quarantined across reloads of this store.
+        self.quarantined = 0
         if path is not None and os.path.exists(path):
             self._reload(path)
 
@@ -66,42 +109,169 @@ class ResultStore:
             return record
 
     def put(self, fingerprint: str, record: Dict[str, Any]) -> None:
-        """Insert (or refresh) a result record and persist it if enabled."""
+        """Insert (or refresh) a result record and persist it if enabled.
+
+        The LRU update happens under the entry lock; persistence happens
+        afterwards under the I/O lock so readers are never blocked on
+        disk.  Concurrent appends of the *same* fingerprint may land on
+        disk in either order — harmless, because the determinism
+        contract makes their records byte-identical.
+        """
         with self._lock:
             self._entries[fingerprint] = record
             self._entries.move_to_end(fingerprint)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 telemetry.add("service.store.evictions")
-            if self.path is not None:
-                line = json.dumps(
-                    {"fingerprint": fingerprint, "result": record},
-                    sort_keys=True,
+        if self.path is not None:
+            self._append(fingerprint, record)
+
+    def _append(self, fingerprint: str, record: Dict[str, Any]) -> None:
+        """Append one record line; failures are contained, not raised.
+
+        A failed append (including an injected torn write) marks the
+        file for repair; the next append — or a compaction — truncates
+        the torn bytes away before writing, so damage never compounds
+        into mid-file corruption.  Until then the torn tail sits on disk
+        exactly as a crash would leave it, which is what reload's
+        quarantine path recovers from.
+        """
+        line = json.dumps(
+            {"fingerprint": fingerprint, "result": record}, sort_keys=True
+        )
+        data = (line + "\n").encode("utf-8")
+        with self._io_lock:
+            try:
+                if self._needs_repair is not None:
+                    with open(self.path, "r+b") as handle:
+                        handle.truncate(self._needs_repair)
+                    self._needs_repair = None
+                start = (
+                    os.path.getsize(self.path)
+                    if os.path.exists(self.path)
+                    else 0
                 )
-                with open(self.path, "a", encoding="utf-8") as handle:
-                    handle.write(line + "\n")
+                directive = faults.point("store.append")
+                if directive is not None:
+                    # Simulated crash mid-write: the torn prefix reaches
+                    # the file, the caller sees a failed append.
+                    with open(self.path, "ab") as handle:
+                        handle.write(directive.cut(data))
+                    self._needs_repair = start
+                    raise faults.InjectedFault(
+                        f"torn append at {self.path!r}"
+                    )
+                with open(self.path, "ab") as handle:
+                    handle.write(data)
+                self._persisted_lines += 1
+            except Exception:  # noqa: BLE001 — persistence must not fail
+                # the job whose result is already safely in memory; the
+                # record is re-persisted by the next compaction.
+                telemetry.add("service.store.append_errors")
+                return
+        if self._should_compact():
+            self.compact()
+
+    def _should_compact(self) -> bool:
+        if self.path is None or self.compact_factor <= 0:
+            return False
+        threshold = max(self.capacity * self.compact_factor, 64)
+        return self._persisted_lines > threshold
+
+    def compact(self) -> int:
+        """Atomically rewrite the log as a snapshot of the live entries.
+
+        Write-temp-then-rename: the snapshot is written next to the log,
+        fsynced, and ``os.replace``-d over it, so a crash leaves either
+        the complete old log or the complete new snapshot.  Returns the
+        number of lines in the snapshot.  Note that compaction trims
+        history to the current LRU contents — records evicted from
+        memory no longer reappear on reload afterwards.
+        """
+        if self.path is None:
+            return 0
+        with self._io_lock:
+            faults.point("store.compact")
+            with self._lock:
+                snapshot = list(self._entries.items())
+            temp_path = f"{self.path}.compact.tmp"
+            with open(temp_path, "wb") as handle:
+                for fingerprint, record in snapshot:
+                    line = json.dumps(
+                        {"fingerprint": fingerprint, "result": record},
+                        sort_keys=True,
+                    )
+                    handle.write((line + "\n").encode("utf-8"))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, self.path)
+            self._persisted_lines = len(snapshot)
+            self._needs_repair = None
+            telemetry.add("service.store.compactions")
+            return len(snapshot)
 
     def _reload(self, path: str) -> None:
-        """Replay a persistence file (last record per fingerprint wins)."""
+        """Replay a persistence file (last record per fingerprint wins).
+
+        A torn trailing line — the signature of a crash mid-append — is
+        quarantined: counted, removed from the file (so later appends
+        cannot concatenate onto it), and skipped.  A malformed line with
+        intact records *after* it is structural corruption and raises
+        :class:`ServiceError`.
+        """
+        with open(path, "rb") as handle:
+            data = handle.read()
+        chunks = data.split(b"\n")
+        trailing_newline = data.endswith(b"\n")
+        # Index of the last chunk holding any payload (None = empty file).
+        last_payload = None
+        for index, chunk in enumerate(chunks):
+            if chunk.strip():
+                last_payload = index
         loaded = 0
-        with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    payload = json.loads(line)
-                    fingerprint = payload["fingerprint"]
-                    record = payload["result"]
-                except (ValueError, KeyError, TypeError) as exc:
-                    raise ServiceError(
-                        f"corrupt result store line in {path!r}: {exc}"
-                    ) from exc
-                self._entries[fingerprint] = record
-                self._entries.move_to_end(fingerprint)
-                loaded += 1
+        good_end = 0  # byte offset just past the last intact line
+        offset = 0
+        torn = False
+        for index, chunk in enumerate(chunks):
+            offset += len(chunk) + 1  # +1 for the split newline
+            if not chunk.strip():
+                if index < len(chunks) - 1:
+                    good_end = min(offset, len(data))
+                continue
+            try:
+                payload = json.loads(chunk.decode("utf-8"))
+                fingerprint = payload["fingerprint"]
+                record = payload["result"]
+                if not isinstance(fingerprint, str):
+                    raise TypeError("fingerprint must be a string")
+            except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+                if index == last_payload:
+                    # Torn tail: quarantine instead of bricking restart.
+                    torn = True
+                    self.quarantined += 1
+                    telemetry.add("service.store.quarantined")
+                    break
+                raise ServiceError(
+                    f"corrupt result store line {index + 1} in {path!r}: "
+                    f"{exc}"
+                ) from exc
+            self._entries[fingerprint] = record
+            self._entries.move_to_end(fingerprint)
+            loaded += 1
+            good_end = min(offset, len(data))
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+        self._persisted_lines = loaded
+        if torn:
+            # Repair: drop the torn bytes so the next append starts a
+            # clean line instead of extending garbage.
+            with open(path, "r+b") as handle:
+                handle.truncate(good_end)
+        elif loaded and not trailing_newline:
+            # Every line parsed but the final newline never hit the disk;
+            # terminate it so the next append stays on its own line.
+            with open(path, "ab") as handle:
+                handle.write(b"\n")
         if loaded:
             telemetry.add("service.store.reloaded", loaded)
 

@@ -19,14 +19,29 @@ HTTP API (:mod:`repro.service.http`) and direct Python embedding:
   rather than concurrent);
 * :meth:`close` supports both graceful drain (finish everything queued)
   and fast shutdown (cancel queued jobs, finish only what is running) —
-  either way every worker thread is joined, no threads are orphaned.
+  either way every worker thread is joined under one shared ``timeout``
+  budget, no threads are orphaned.
 
 Failure semantics: a job attempt that raises is retried up to
-``spec.max_retries`` times with exponential backoff; a job whose
-wall-clock deadline expires fails immediately with a timeout error
-(whether it expired waiting in the queue or mid-execution); a failed or
-timed-out primary propagates its failure to every coalesced follower.
-Nothing is stored under a fingerprint except a successful result.
+``spec.max_retries`` times with exponential backoff — the backoff sleep
+is capped at the job's remaining deadline and wakes early when
+cancellation is requested; a job whose wall-clock deadline expires fails
+immediately with a timeout error (whether it expired waiting in the
+queue or mid-execution); a failed or timed-out primary propagates its
+failure to every coalesced follower.  Nothing is stored under a
+fingerprint except a successful result.
+
+Crash safety (exercised by ``tests/test_service_chaos.py`` and the
+``worker.run`` fault point): a worker thread that dies — a
+:class:`~repro.faults.WorkerCrash` injection or any exception escaping
+job isolation — settles its in-flight job as FAILED, propagates the
+outcome to followers, and **respawns a replacement thread**, so pool
+capacity never decays and no job is left stuck in a non-terminal state.
+Terminal jobs are kept for a polling grace window (``job_ttl``) and then
+swept (``service.jobs.evicted``), bounding memory under sustained
+traffic; an optional :class:`~repro.service.journal.JobJournal` records
+every lifecycle event so a restarted service can report what a crash
+interrupted.
 """
 
 from __future__ import annotations
@@ -35,11 +50,13 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.engine import CircuitCache, configure_defaults
+from repro.faults import WorkerCrash
 from repro.problems.io import problem_from_dict, problem_to_dict
 from repro.problems.registry import make_benchmark
 from repro.service.dedup import DedupIndex, job_fingerprint
+from repro.service.journal import JobJournal
 from repro.service.jobs import (
     Job,
     JobQueue,
@@ -85,10 +102,20 @@ class SolverService:
             :class:`~repro.service.store.ResultStore`).
         runner: job execution function (injectable for tests; default
             runs :func:`default_runner`).
-        sleep: sleep function used for retry backoff (injectable).
+        sleep: retry-backoff sleep function (injectable for tests).
+            ``None`` — the default — uses a cancellation-aware wait that
+            wakes as soon as the job is cancelled.
         shared_cache_size: capacity of the process-wide compiled-circuit
             cache installed while the service runs; ``0`` disables
             sharing.
+        max_jobs: soft capacity of the in-memory job index; when
+            exceeded, the oldest *terminal* jobs are evicted first
+            (non-terminal jobs are never evicted).
+        job_ttl: grace window in seconds that a terminal job stays
+            pollable over HTTP after finishing; ``None`` keeps terminal
+            jobs until the capacity sweep needs the room.
+        journal: optional :class:`~repro.service.journal.JobJournal`
+            recording every job lifecycle event for post-crash triage.
     """
 
     def __init__(
@@ -97,21 +124,30 @@ class SolverService:
         workers: int = 2,
         store: Optional[ResultStore] = None,
         runner: Optional[JobRunner] = None,
-        sleep: Callable[[float], None] = time.sleep,
+        sleep: Optional[Callable[[float], None]] = None,
         shared_cache_size: int = 512,
+        max_jobs: int = 4096,
+        job_ttl: Optional[float] = 900.0,
+        journal: Optional[JobJournal] = None,
     ) -> None:
         if workers < 1:
             raise ServiceError("workers must be >= 1")
+        if max_jobs < 1:
+            raise ServiceError("max_jobs must be >= 1")
         self.workers = int(workers)
         self.queue = JobQueue()
         self.dedup = DedupIndex()
         self.store = store if store is not None else ResultStore()
+        self.journal = journal
+        self.max_jobs = int(max_jobs)
+        self.job_ttl = None if job_ttl is None else float(job_ttl)
         self._runner = runner if runner is not None else default_runner
         self._sleep = sleep
         self._shared_cache_size = int(shared_cache_size)
         self._jobs: Dict[str, Job] = {}
         self._jobs_lock = threading.Lock()
         self._threads: List[threading.Thread] = []
+        self._threads_lock = threading.Lock()
         self._running_count = 0
         self._idle = threading.Condition()
         self._previous_defaults = None
@@ -132,7 +168,14 @@ class SolverService:
             self._previous_defaults = configure_defaults(
                 cache=CircuitCache(self._shared_cache_size)
             )
-        for index in range(self.workers):
+        for _ in range(self.workers):
+            self._spawn_worker()
+        self._started = True
+        return self
+
+    def _spawn_worker(self) -> None:
+        with self._threads_lock:
+            index = len(self._threads)
             thread = threading.Thread(
                 target=self._worker_loop,
                 name=f"repro-service-worker-{index}",
@@ -140,8 +183,6 @@ class SolverService:
             )
             thread.start()
             self._threads.append(thread)
-        self._started = True
-        return self
 
     def close(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Shut the service down and join every worker thread.
@@ -149,26 +190,44 @@ class SolverService:
         ``drain=True`` (graceful) finishes all queued and running jobs
         first; ``drain=False`` cancels queued jobs (running ones still
         finish — the engine has no preemption points) before stopping
-        the workers.
+        the workers.  ``timeout`` is one **shared** wall-clock budget
+        covering the drain and every thread join, not a per-thread
+        allowance.
         """
         if self._closed:
             return
         self._closed = True
+        deadline = None if timeout is None else time.monotonic() + timeout
         if self._started and drain:
-            self.drain(timeout=timeout)
+            self.drain(
+                timeout=None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
         if not drain:
             # Cancel queued work *before* waking the workers, so none of
             # it slips through between close() and the cancellations.
             for job in self.queue.drain_pending():
                 if job.cancel():
+                    self._journal("cancelled", job)
                     self._settle_followers(job)
         self.queue.close()
-        for thread in self._threads:
-            thread.join(timeout)
-        self._threads = [t for t in self._threads if t.is_alive()]
+        with self._threads_lock:
+            threads = list(self._threads)
+        for thread in threads:
+            remaining = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            thread.join(remaining)
+        with self._threads_lock:
+            self._threads = [t for t in self._threads if t.is_alive()]
         if self._previous_defaults is not None:
             configure_defaults(cache=self._previous_defaults.cache)
             self._previous_defaults = None
+        if self.journal is not None:
+            self.journal.record("service.stop")
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Block until the queue is empty and no job is running.
@@ -220,6 +279,7 @@ class SolverService:
             raise ServiceError("service is closed")
         if (problem is None) == (benchmark is None):
             raise ServiceError("provide exactly one of problem= or benchmark=")
+        self._sweep_jobs()
         if benchmark is not None:
             payload = problem_to_dict(make_benchmark(benchmark, case=case))
         else:
@@ -240,10 +300,12 @@ class SolverService:
         with self._jobs_lock:
             self._jobs[job.id] = job
         telemetry.add("service.jobs.submitted")
+        self._journal("submitted", job)
 
         cached = self.store.get(job.fingerprint)
         if cached is not None:
             job.mark_done(cached, from_cache=True)
+            self._journal("done", job, detail="cache")
             return job
         primary = self.dedup.admit(job)
         if primary is not None:
@@ -254,6 +316,44 @@ class SolverService:
             return job
         self.queue.put(job)
         return job
+
+    def _sweep_jobs(self) -> int:
+        """Evict terminal jobs past their grace window or over capacity.
+
+        Terminal jobs older than ``job_ttl`` are dropped; if the index is
+        still over ``max_jobs``, the oldest-finished terminal jobs go
+        next.  Non-terminal jobs are never evicted — under a flood of
+        live work the index may exceed ``max_jobs`` until jobs settle.
+        """
+        now = time.monotonic()
+        evicted = 0
+        with self._jobs_lock:
+            if self.job_ttl is not None:
+                for job_id, job in list(self._jobs.items()):
+                    if (
+                        job.state.terminal
+                        and job.finished_at is not None
+                        and now - job.finished_at >= self.job_ttl
+                    ):
+                        del self._jobs[job_id]
+                        evicted += 1
+            if len(self._jobs) > self.max_jobs:
+                terminal = sorted(
+                    (
+                        job
+                        for job in self._jobs.values()
+                        if job.state.terminal and job.finished_at is not None
+                    ),
+                    key=lambda item: item.finished_at,
+                )
+                for job in terminal:
+                    if len(self._jobs) <= self.max_jobs:
+                        break
+                    del self._jobs[job.id]
+                    evicted += 1
+        if evicted:
+            telemetry.add("service.jobs.evicted", evicted)
+        return evicted
 
     # ------------------------------------------------------------------
     # Introspection / control
@@ -273,6 +373,12 @@ class SolverService:
             counts[job.state.value] += 1
         return counts
 
+    def interrupted_jobs(self) -> List[str]:
+        """Job ids a previous process left unfinished (from the journal)."""
+        if self.journal is None:
+            return []
+        return list(self.journal.interrupted)
+
     def cancel(self, job_id: str) -> bool:
         job = self.get(job_id)
         if job is None:
@@ -280,6 +386,7 @@ class SolverService:
         cancelled = job.cancel()
         if cancelled:
             telemetry.add("service.jobs.cancelled")
+            self._journal("cancelled", job)
             self._settle_followers(job)
         return cancelled
 
@@ -293,12 +400,42 @@ class SolverService:
                 return
             with self._idle:
                 self._running_count += 1
+            crashed = False
             try:
-                self._execute(job)
+                try:
+                    self._execute(job)
+                except WorkerCrash as exc:
+                    # Injected (or real) worker death: settle the job it
+                    # held, then let this thread die and be replaced.
+                    crashed = True
+                    self._settle_crash(job, str(exc) or "worker crashed")
+                except Exception as exc:  # noqa: BLE001 — a service bug
+                    # must not strand the job or silently kill the worker.
+                    self._settle_crash(
+                        job, f"worker error: {type(exc).__name__}: {exc}"
+                    )
             finally:
                 with self._idle:
                     self._running_count -= 1
                     self._idle.notify_all()
+            if crashed:
+                self._respawn()
+                return
+
+    def _settle_crash(self, job: Job, message: str) -> None:
+        """Settle a job whose worker died outside normal job isolation."""
+        telemetry.add("service.workers.crashed")
+        if job.mark_failed(message):
+            telemetry.add("service.jobs.failed")
+            self._journal("crashed", job, detail=message)
+        self._settle_followers(job)
+
+    def _respawn(self) -> None:
+        """Replace a crashed worker thread so pool capacity never decays."""
+        if self._closed:
+            return
+        telemetry.add("service.workers.respawned")
+        self._spawn_worker()
 
     def _execute(self, job: Job) -> None:
         if job.expired():
@@ -306,12 +443,14 @@ class SolverService:
             job.mark_failed(
                 f"deadline expired after {job.spec.timeout:.3f}s in queue"
             )
+            self._journal("failed", job, detail="deadline expired in queue")
             self._settle_followers(job)
             return
         if not job.mark_running():
             # Cancelled between dequeue and here.
             self._settle_followers(job)
             return
+        self._journal("running", job)
         spec = job.spec
         problem_name = spec.problem.get("name", spec.problem.get("type"))
         with telemetry.span(
@@ -321,10 +460,12 @@ class SolverService:
             priority=spec.priority,
         ) as job_span:
             failure: Optional[str] = None
+            timed_out = False
             record: Optional[Dict[str, Any]] = None
             for attempt in range(spec.max_retries + 1):
                 job.attempts += 1
                 try:
+                    faults.point("worker.run")
                     record = run_with_deadline(
                         lambda: self._runner(spec),
                         job.remaining(),
@@ -335,26 +476,67 @@ class SolverService:
                 except JobTimeoutError as exc:
                     telemetry.add("service.jobs.timeouts")
                     failure = str(exc)
+                    timed_out = True
                     break  # the deadline is gone; retrying cannot help
                 except Exception as exc:  # noqa: BLE001 — jobs isolate failures
                     failure = f"{type(exc).__name__}: {exc}"
                     if attempt >= spec.max_retries or job.cancel_requested:
                         break
                     telemetry.add("service.jobs.retries")
-                    self._sleep(spec.retry_backoff * (2 ** attempt))
-            job_span.set(attempts=job.attempts, state="failed" if failure else "done")
+                    if self._backoff(job, attempt):
+                        break  # cancellation interrupted the backoff
             if failure is None and record is not None:
+                state = "done"
+            elif job.cancel_requested and not timed_out:
+                state = "cancelled"
+            else:
+                state = "failed"
+            job_span.set(attempts=job.attempts, state=state)
+            if state == "done":
                 telemetry.add("service.jobs.executed")
                 self.store.put(job.fingerprint, record)
                 job.mark_done(record)
+                self._journal("done", job)
+            elif state == "cancelled":
+                job.mark_cancelled()
+                telemetry.add("service.jobs.cancelled")
+                self._journal("cancelled", job, detail=failure)
             else:
                 telemetry.add("service.jobs.failed")
                 job.mark_failed(failure or "runner returned no record")
+                self._journal("failed", job, detail=failure)
             if job.started_at is not None and job.finished_at is not None:
                 telemetry.observe(
                     "service.jobs.run_seconds", job.finished_at - job.started_at
                 )
         self._settle_followers(job)
+
+    def _backoff(self, job: Job, attempt: int) -> bool:
+        """Sleep before retry ``attempt + 1``; True when cancelled mid-sleep.
+
+        The exponential delay is capped at the job's remaining deadline —
+        sleeping past it would burn wall-clock the next attempt no longer
+        has — and the default sleep wakes immediately on cancellation.
+        """
+        delay = job.spec.retry_backoff * (2 ** attempt)
+        remaining = job.remaining()
+        if remaining is not None:
+            delay = min(delay, max(0.0, remaining))
+        if delay > 0.0:
+            if self._sleep is not None:
+                self._sleep(delay)
+            else:
+                job.wait_cancel(delay)
+        return job.cancel_requested
+
+    # ------------------------------------------------------------------
+    # Settlement plumbing
+    # ------------------------------------------------------------------
+    def _journal(self, event: str, job: Job, detail: Optional[str] = None) -> None:
+        if self.journal is not None:
+            self.journal.record(
+                event, job.id, fingerprint=job.fingerprint, detail=detail
+            )
 
     def _settle_followers(self, primary: Job) -> None:
         """Propagate a terminal primary's outcome to coalesced followers."""
@@ -363,13 +545,15 @@ class SolverService:
         for follower in self.dedup.resolve(primary.fingerprint, primary):
             self._copy_outcome(primary, follower)
 
-    @staticmethod
-    def _copy_outcome(primary: Job, follower: Job) -> None:
+    def _copy_outcome(self, primary: Job, follower: Job) -> None:
         if primary.state is JobState.DONE and primary.result is not None:
-            follower.mark_done(primary.result)
+            if follower.mark_done(primary.result):
+                self._journal("done", follower, detail="coalesced")
         elif primary.state is JobState.CANCELLED:
-            follower.cancel()
+            if follower.cancel():
+                self._journal("cancelled", follower, detail="coalesced")
         else:
-            follower.mark_failed(
+            if follower.mark_failed(
                 primary.error or f"coalesced job {primary.id} failed"
-            )
+            ):
+                self._journal("failed", follower, detail="coalesced")

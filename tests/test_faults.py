@@ -1,0 +1,218 @@
+"""Unit tests for the repro.faults injection subsystem."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    TruncateDirective,
+    WorkerCrash,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    yield
+    faults.uninstall()
+
+
+class TestFaultRule:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultRule("x", "explode")
+
+    def test_probability_and_every_are_exclusive(self):
+        with pytest.raises(ValueError, match="at most one"):
+            FaultRule("x", "raise", probability=0.5, every=2)
+
+    def test_prefix_matching(self):
+        rule = FaultRule("store.*", "raise")
+        assert rule.matches("store.append")
+        assert rule.matches("store.compact")
+        assert not rule.matches("worker.run")
+
+    def test_parse_round_trips_options(self):
+        rule = FaultRule.parse("engine.execute:raise:p=0.25,max=3")
+        assert rule.point == "engine.execute"
+        assert rule.action == "raise"
+        assert rule.probability == 0.25
+        assert rule.max_fires == 3
+
+        rule = FaultRule.parse("store.append:truncate:every=5,fraction=0.3")
+        assert rule.every == 5
+        assert rule.fraction == 0.3
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultRule.parse("no-action")
+        with pytest.raises(ValueError):
+            FaultRule.parse("p:raise:bogus=1")
+
+
+class TestInjectorDeterminism:
+    def test_every_nth_fires_on_schedule(self):
+        injector = FaultInjector(
+            FaultPlan([FaultRule("p", "raise", every=3)], seed=0)
+        )
+        outcomes = []
+        for _ in range(9):
+            try:
+                injector.fire("p")
+                outcomes.append("ok")
+            except InjectedFault:
+                outcomes.append("boom")
+        assert outcomes == ["ok", "ok", "boom"] * 3
+
+    def test_same_seed_same_sequence(self):
+        def run(seed):
+            injector = FaultInjector(
+                FaultPlan([FaultRule("p", "raise", probability=0.4)], seed=seed)
+            )
+            fired = []
+            for index in range(50):
+                try:
+                    injector.fire("p")
+                    fired.append(False)
+                except InjectedFault:
+                    fired.append(True)
+            return fired, list(injector.log)
+
+        first, log_a = run(11)
+        second, log_b = run(11)
+        different, _ = run(12)
+        assert first == second
+        assert log_a == log_b
+        assert first != different
+        assert any(first)  # p=0.4 over 50 calls must fire sometimes
+        assert not all(first)
+
+    def test_per_point_streams_are_independent(self):
+        """Interleaving calls to other points never shifts a point's decisions."""
+        plan = [FaultRule("a", "raise", probability=0.5)]
+        solo = FaultInjector(FaultPlan(plan, seed=3))
+        interleaved = FaultInjector(FaultPlan(plan, seed=3))
+
+        def decisions(injector, with_noise):
+            fired = []
+            for _ in range(20):
+                if with_noise:
+                    injector.fire("noise")  # no rule matches; still counted
+                try:
+                    injector.fire("a")
+                    fired.append(False)
+                except InjectedFault:
+                    fired.append(True)
+            return fired
+
+        assert decisions(solo, False) == decisions(interleaved, True)
+
+    def test_plans_are_reusable_fire_counters_are_injector_state(self):
+        """One plan must seed any number of independent injectors: the
+        per-rule max_fires counter lives on the injector's private rule
+        copies, not on the shared plan."""
+        plan = FaultPlan([FaultRule("p", "raise", every=1, max_fires=1)])
+
+        def failures(injector):
+            count = 0
+            for _ in range(3):
+                try:
+                    injector.fire("p")
+                except InjectedFault:
+                    count += 1
+            return count
+
+        assert failures(FaultInjector(plan)) == 1
+        assert failures(FaultInjector(plan)) == 1  # fresh counter
+        assert plan.rules[0].fired == 0  # the plan itself is untouched
+
+    def test_max_fires_caps_injections(self):
+        injector = FaultInjector(
+            FaultPlan([FaultRule("p", "raise", every=1, max_fires=2)], seed=0)
+        )
+        failures = 0
+        for _ in range(5):
+            try:
+                injector.fire("p")
+            except InjectedFault:
+                failures += 1
+        assert failures == 2
+        assert len(injector.log) == 2
+
+    def test_kill_raises_worker_crash_past_except_exception(self):
+        injector = FaultInjector(
+            FaultPlan([FaultRule("p", "kill", every=1)], seed=0)
+        )
+        with pytest.raises(WorkerCrash):
+            try:
+                injector.fire("p")
+            except Exception:  # noqa: BLE001 — the point of the test
+                pytest.fail("WorkerCrash must not be caught by except Exception")
+
+    def test_latency_sleeps(self):
+        injector = FaultInjector(
+            FaultPlan([FaultRule("p", "latency", every=1, delay=0.05)], seed=0)
+        )
+        start = time.monotonic()
+        injector.fire("p")
+        assert time.monotonic() - start >= 0.04
+
+    def test_truncate_returns_directive(self):
+        injector = FaultInjector(
+            FaultPlan([FaultRule("p", "truncate", every=1, fraction=0.5)], seed=0)
+        )
+        directive = injector.fire("p")
+        assert isinstance(directive, TruncateDirective)
+        cut = directive.cut(b"0123456789\n")
+        assert 1 <= len(cut) < 11
+        assert b"\n" not in cut
+
+    def test_thread_safety_counts_every_call(self):
+        injector = FaultInjector(
+            FaultPlan([FaultRule("p", "raise", every=10)], seed=0)
+        )
+
+        def hammer():
+            for _ in range(100):
+                try:
+                    injector.fire("p")
+                except InjectedFault:
+                    pass
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert injector.calls("p") == 400
+        assert len(injector.log) == 40  # every 10th of 400
+
+
+class TestModuleSwitch:
+    def test_point_is_noop_without_plan(self):
+        assert faults.active() is None
+        assert faults.point("anything") is None
+
+    def test_session_installs_and_uninstalls(self):
+        plan = FaultPlan([FaultRule("p", "raise", every=1)], seed=0)
+        with faults.session(plan) as injector:
+            assert faults.active() is injector
+            with pytest.raises(InjectedFault):
+                faults.point("p")
+        assert faults.active() is None
+        assert faults.point("p") is None
+
+    def test_smoke_plan_parses_and_is_survivable(self):
+        plan = FaultPlan.smoke(seed=5)
+        assert any(rule.action == "kill" for rule in plan.rules)
+        assert all(
+            rule.action != "kill" or rule.max_fires is not None
+            for rule in plan.rules
+        )

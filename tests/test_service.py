@@ -167,11 +167,22 @@ class TestResultStore:
         assert reloaded.get("a") == {"arg": 0.25}
         assert reloaded.get("b") == {"arg": 1.0}
 
-    def test_corrupt_persistence_raises(self, tmp_path):
+    def test_midfile_corruption_raises(self, tmp_path):
+        # Structural damage (garbage with intact records after it) must
+        # still refuse to load; only a torn *tail* is quarantined.
         path = tmp_path / "bad.jsonl"
-        path.write_text("not json\n")
+        good = '{"fingerprint": "a", "result": {"v": 1}}'
+        path.write_text(f"not json\n{good}\n")
         with pytest.raises(ServiceError, match="corrupt"):
             ResultStore(path=str(path))
+
+    def test_torn_tail_is_quarantined_not_fatal(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        good = '{"fingerprint": "a", "result": {"v": 1}}'
+        path.write_text(f'{good}\n{{"fingerprint": "b", "res')  # torn append
+        store = ResultStore(path=str(path))
+        assert store.get("a") == {"v": 1}
+        assert store.quarantined == 1
 
 
 # ----------------------------------------------------------------------

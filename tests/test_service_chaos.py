@@ -1,0 +1,257 @@
+"""Seeded chaos suite: drive a live service through injected worker
+crashes, runner exceptions, torn store writes, and slow appends, then
+assert the crash-safety invariants the service layer promises.
+
+Invariants (ISSUE acceptance criteria):
+
+* every submitted job reaches a terminal state — nothing stuck;
+* no orphaned dedup followers — the in-flight index drains to zero;
+* the result store reloads cleanly after a simulated restart;
+* every DONE result is bit-identical to a fault-free run of the same
+  submission;
+* the same chaos seed reproduces the same injected-fault sequence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro import faults, telemetry
+from repro.faults import FaultPlan, FaultRule, InjectedFault
+from repro.problems import make_benchmark
+from repro.problems.io import problem_to_dict
+from repro.service import (
+    JobJournal,
+    JobState,
+    ResultStore,
+    ServiceClient,
+    ServiceServer,
+    SolverService,
+    default_runner,
+)
+
+F1 = problem_to_dict(make_benchmark("F1", 0))
+QUICK = {"seed": 7, "shots": None, "max_iterations": 3}
+
+#: The standing chaos plan: bounded worker kills, retryable runner
+#: failures, a torn store write every few appends, and slow appends.
+CHAOS_RULES = [
+    FaultRule("worker.run", "kill", every=7, max_fires=2),
+    FaultRule("worker.run", "raise", probability=0.15),
+    FaultRule("store.append", "truncate", every=4),
+    FaultRule("store.append", "latency", probability=0.3, delay=0.002),
+]
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    yield
+    faults.uninstall()
+
+
+def deterministic_runner(spec):
+    """A cheap stand-in for the solver that is a pure function of the
+    spec — which is exactly the determinism contract the real
+    ``default_runner`` provides, minus the compute."""
+    payload = json.dumps(
+        {"problem": spec.problem, "config": spec.config,
+         "backend": spec.backend},
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return {"arg": int(digest[:8], 16) / 2**32, "digest": digest}
+
+
+def drive(service, *, seeds, duplicates=2):
+    """Submit one job per seed (plus duplicate resubmissions of the first
+    few, to exercise dedup under chaos) and wait for all of them."""
+    jobs = []
+    for seed in seeds:
+        jobs.append(
+            service.submit(
+                F1,
+                config={**QUICK, "seed": seed},
+                max_retries=3,
+                retry_backoff=0.001,
+            )
+        )
+    for seed in list(seeds)[:duplicates]:
+        jobs.append(
+            service.submit(
+                F1,
+                config={**QUICK, "seed": seed},
+                max_retries=3,
+                retry_backoff=0.001,
+            )
+        )
+    for job in jobs:
+        assert job.wait(30.0), f"job {job.id} never settled"
+    return jobs
+
+
+class TestChaosInvariants:
+    def test_seeded_chaos_run_holds_all_invariants(self, tmp_path):
+        store_path = str(tmp_path / "results.jsonl")
+        journal_path = str(tmp_path / "journal.jsonl")
+        plan = FaultPlan(list(CHAOS_RULES), seed=1234)
+        with telemetry.session() as collector:
+            with faults.session(plan) as injector:
+                service = SolverService(
+                    workers=3,
+                    runner=deterministic_runner,
+                    store=ResultStore(capacity=64, path=store_path),
+                    journal=JobJournal(journal_path),
+                ).start()
+                jobs = drive(service, seeds=range(24))
+                service.close(timeout=30.0)
+
+            # Chaos actually happened (the run is meaningless otherwise).
+            assert injector.log, "the plan injected nothing"
+            assert collector.counter("service.faults.injected") == len(
+                injector.log
+            )
+
+            # Invariant: nothing stuck in a non-terminal state.
+            for job in jobs:
+                assert job.state.terminal, (
+                    f"job {job.id} stuck in {job.state}"
+                )
+            # Invariant: no orphaned dedup followers.
+            assert service.dedup.inflight() == 0
+            for job in jobs:
+                if job.coalesced_into is not None:
+                    assert job.state.terminal
+
+            # Worker kills were survived, not absorbed silently.
+            assert collector.counter("service.workers.crashed") == 2
+            assert collector.counter("service.workers.respawned") == 2
+
+        # Invariant: the store reloads after a simulated restart, torn
+        # tail and all — and every surviving record is bit-identical to
+        # what a fault-free execution produces.
+        reloaded = ResultStore(capacity=64, path=store_path)
+        for job in jobs:
+            if job.state is JobState.DONE:
+                expected = deterministic_runner(job.spec)
+                assert job.result == expected, f"job {job.id} result drifted"
+                persisted = reloaded.get(job.fingerprint)
+                if persisted is not None:  # torn appends may have dropped it
+                    assert json.dumps(persisted, sort_keys=True) == json.dumps(
+                        expected, sort_keys=True
+                    )
+
+        # The journal replays cleanly: every settled job is settled there
+        # too, so a restart reports zero interrupted jobs.
+        assert JobJournal(journal_path).interrupted == []
+
+    def test_same_seed_reproduces_same_fault_sequence(self, tmp_path):
+        def run(seed, tag):
+            plan = FaultPlan(list(CHAOS_RULES), seed=seed)
+            store = ResultStore(
+                capacity=64, path=str(tmp_path / f"results-{tag}.jsonl")
+            )
+            with faults.session(plan) as injector:
+                # workers=1: per-point call order is then fully
+                # deterministic, so the whole log is comparable.
+                service = SolverService(
+                    workers=1, runner=deterministic_runner, store=store
+                ).start()
+                # duplicates=0: a duplicate races between cache-hit and
+                # re-execution depending on worker progress, which would
+                # make the fault-point call counts timing-dependent.
+                jobs = drive(service, seeds=range(12), duplicates=0)
+                service.close(timeout=30.0)
+            states = [job.state for job in jobs]
+            return list(injector.log), states
+
+        log_a, states_a = run(99, "a")
+        log_b, states_b = run(99, "b")
+        log_c, _ = run(100, "c")
+        assert log_a == log_b
+        assert states_a == states_b
+        assert log_a, "seed 99 injected nothing"
+        assert log_a != log_c
+
+    def test_clean_run_with_empty_plan_injects_nothing(self):
+        with faults.session(FaultPlan([], seed=0)) as injector:
+            service = SolverService(
+                workers=2, runner=deterministic_runner
+            ).start()
+            jobs = drive(service, seeds=range(6))
+            service.close(timeout=30.0)
+        assert injector.log == []
+        assert all(job.state is JobState.DONE for job in jobs)
+
+
+class TestEngineFaultPoint:
+    def test_engine_execute_fault_is_retried_to_the_same_result(self):
+        """An injected engine failure is a retryable backend error: the
+        retry lands the exact result a fault-free solve produces."""
+        config = {"seed": 3, "shots": None, "max_iterations": 1}
+        clean = SolverService(workers=1).start()
+        try:
+            baseline = clean.submit(F1, config=config)
+            assert baseline.wait(60.0)
+        finally:
+            clean.close()
+        assert baseline.state is JobState.DONE
+
+        plan = FaultPlan(
+            [FaultRule("engine.execute", "raise", every=1, max_fires=1)],
+            seed=0,
+        )
+        with faults.session(plan) as injector:
+            service = SolverService(workers=1).start()
+            try:
+                job = service.submit(
+                    F1, config=config, max_retries=2, retry_backoff=0.001
+                )
+                assert job.wait(60.0)
+            finally:
+                service.close()
+        assert [entry[:2] for entry in injector.log] == [
+            ("engine.execute", "raise")
+        ]
+        assert job.state is JobState.DONE
+        assert job.attempts == 2
+        assert json.dumps(job.result, sort_keys=True) == json.dumps(
+            baseline.result, sort_keys=True
+        )
+
+    def test_default_runner_raises_injected_fault_directly(self):
+        from repro.service.jobs import JobSpec
+
+        plan = FaultPlan(
+            [FaultRule("engine.execute", "raise", every=1, max_fires=1)],
+            seed=0,
+        )
+        spec = JobSpec(problem=F1, config={**QUICK, "max_iterations": 1})
+        with faults.session(plan):
+            with pytest.raises(InjectedFault):
+                default_runner(spec)
+
+
+class TestHttpFaultPoint:
+    def test_http_handler_fault_maps_to_500(self):
+        plan = FaultPlan(
+            [FaultRule("http.handler", "raise", every=1, max_fires=1)],
+            seed=0,
+        )
+        service = SolverService(workers=1, runner=deterministic_runner).start()
+        server = ServiceServer(service, port=0).start()
+        client = ServiceClient(server.url, timeout=10.0)
+        try:
+            with faults.session(plan):
+                from repro.service import ServiceClientError
+
+                with pytest.raises(ServiceClientError) as excinfo:
+                    client.health()
+                assert excinfo.value.status == 500
+            # The very next request (fault exhausted) succeeds.
+            assert client.health()["status"] == "ok"
+        finally:
+            server.stop()
+            service.close()
