@@ -7,12 +7,15 @@ artifacts EXPERIMENTS.md quotes).
 Telemetry opt-in: set ``REPRO_BENCH_TELEMETRY=1`` to run every benchmark
 under an active telemetry collector and dump a per-test counter summary
 (circuit executions, shots, CX gates, sparse support, ...) plus a span
-tree to ``benchmarks/results/telemetry/<test>.txt`` — the measurement
-substrate for comparing perf work across PRs.
+tree to ``benchmarks/results/telemetry/<test>.txt``, alongside a
+machine-readable ``BENCH_<test>.json`` with the full counter table and
+per-histogram quantiles (p50/p95/p99) — the measurement substrate for
+comparing perf work across PRs.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 import re
@@ -71,3 +74,10 @@ def bench_telemetry(request):
         + "\n"
     )
     (TELEMETRY_DIR / f"{safe_name}.txt").write_text(report)
+    # Machine-readable dump: full counter table plus per-histogram
+    # quantiles (p50/p95/p99 come from Histogram.to_dict).
+    payload = {"test": request.node.nodeid}
+    payload.update(collector.summary())
+    (TELEMETRY_DIR / f"BENCH_{safe_name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

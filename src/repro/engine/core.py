@@ -20,13 +20,16 @@ probabilities".  It owns:
 Determinism contract: every random draw the engine makes comes from its
 :class:`~repro.simulators.seeding.SeedBank`; fan-out work units receive
 pre-spawned ``SeedSequence`` children, never shared generator state.
-Telemetry recorded *inside* pool workers stays in the worker process; the
-engine's own ``engine.*`` counters are parent-side (see
-``docs/OBSERVABILITY.md``).
+Telemetry recorded *inside* pool workers runs under a per-task child
+collector and ships back with the result as a serialized delta; the
+parent stitches the child span trees (tagged with the worker pid) under
+the originating ``engine.map`` span and accumulates the counters, so a
+parallel run's totals match a serial run (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
@@ -416,6 +419,14 @@ class ExecutionEngine:
         Serial when ``workers <= 1``; otherwise fans out over a lazily
         created process pool.  ``fn`` and the payloads must be picklable
         (module-level function + plain-data payloads).
+
+        When telemetry is active, each pool task runs under a child
+        collector and returns ``(result, delta)``; the deltas are merged
+        back here — counters accumulate as if the work had run serially,
+        and the child span trees are stitched under this call's
+        ``engine.map`` span (tagged ``worker_pid``/``task_index``), so a
+        parallel run yields one coherent trace instead of losing the
+        spans in the worker processes.
         """
         items = list(payloads)
         if self.workers <= 1 or len(items) <= 1:
@@ -423,9 +434,18 @@ class ExecutionEngine:
         pool = self._ensure_pool()
         with telemetry.span(
             "engine.map", label=label, tasks=len(items), workers=self.workers
-        ):
+        ) as map_span:
             telemetry.add("engine.parallel.tasks", len(items))
-            return list(pool.map(fn, items))
+            collector = telemetry.active()
+            if collector is None:
+                return list(pool.map(fn, items))
+            parent = map_span if isinstance(map_span, telemetry.Span) else None
+            tasks = [(fn, item, index) for index, item in enumerate(items)]
+            results: List[R] = []
+            for result, delta in pool.map(_run_traced, tasks):
+                collector.merge(delta, parent=parent)
+                results.append(result)
+            return results
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -456,6 +476,27 @@ class ExecutionEngine:
         state["_cache"] = None
         state["workers"] = 0
         return state
+
+
+def _run_traced(task):
+    """Pool-worker wrapper: run one work unit under a child collector.
+
+    Returns ``(result, delta)`` where ``delta`` is the child collector's
+    serialized telemetry (:meth:`TelemetryCollector.to_delta`).  Root
+    spans are stamped with the worker pid and the task's fan-out index
+    so the parent-side stitch keeps per-worker attribution.  The child
+    session shadows any collector inherited across ``fork``, so worker
+    telemetry never leaks into an unobservable forked copy.
+    """
+    fn, item, index = task
+    collector = telemetry.TelemetryCollector()
+    with telemetry.session(collector):
+        result = fn(item)
+    pid = os.getpid()
+    for root in collector.roots:
+        root.attributes.setdefault("worker_pid", pid)
+        root.attributes.setdefault("task_index", index)
+    return result, collector.to_delta()
 
 
 def ensure_engine(

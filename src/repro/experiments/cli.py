@@ -23,8 +23,12 @@ additionally asserts the paper's qualitative shapes).
 
 ``--trace`` enables the telemetry layer for the whole invocation and
 prints the span tree plus counter summary afterwards; ``--trace-out PATH``
-additionally writes the trace as JSONL (implies ``--trace``).  See
-``docs/OBSERVABILITY.md``.
+additionally writes the trace (implies ``--trace``) in the format chosen
+by ``--trace-format``: ``jsonl`` (default, round-trips through
+``telemetry.read_jsonl``) or ``chrome`` (Chrome trace-event JSON,
+loadable in Perfetto / ``chrome://tracing``).  The ``solve`` subcommand
+takes the same three flags and keeps stdout pure JSON by routing trace
+chatter to stderr.  See ``docs/OBSERVABILITY.md``.
 
 ``--engine-workers`` and ``--backend`` set the process-wide execution
 engine defaults (see ``docs/ARCHITECTURE.md``): every solver built during
@@ -197,6 +201,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quick", action="store_true", help="shrink budgets for a smoke run"
     )
+    _add_trace_arguments(parser)
+    _add_engine_arguments(parser)
+    return parser
+
+
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace",
         action="store_true",
@@ -205,10 +215,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace-out",
         metavar="PATH",
-        help="write the telemetry trace as JSONL to PATH (implies --trace)",
+        help="write the telemetry trace to PATH (implies --trace)",
     )
-    _add_engine_arguments(parser)
-    return parser
+    parser.add_argument(
+        "--trace-format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help="--trace-out format: jsonl (round-trip) or chrome "
+        "(trace-event JSON for Perfetto / chrome://tracing)",
+    )
+
+
+def _write_trace(collector, args, stream) -> None:
+    """Write ``collector`` to ``args.trace_out`` in the chosen format."""
+    if args.trace_format == "chrome":
+        telemetry.write_chrome_trace(collector, args.trace_out)
+    else:
+        telemetry.write_jsonl(collector, args.trace_out)
+    print(
+        f"\ntrace ({args.trace_format}) written to {args.trace_out}",
+        file=stream,
+    )
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -255,6 +282,7 @@ def build_solve_parser() -> argparse.ArgumentParser:
         help="wall-clock limit enforced through the service job-deadline "
         "machinery; exit code 3 on expiry",
     )
+    _add_trace_arguments(parser)
     _add_engine_arguments(parser)
     return parser
 
@@ -274,6 +302,8 @@ def _solve_main(argv: List[str]) -> int:
     )
     problem = make_benchmark(args.benchmark, case=args.case)
     solver = RasenganSolver(problem, backend=args.backend, config=config)
+    trace = args.trace or args.trace_out is not None
+    collector = telemetry.enable() if trace else None
     try:
         result = run_with_deadline(
             solver.solve, args.timeout, label=f"solve {args.benchmark}"
@@ -283,6 +313,12 @@ def _solve_main(argv: List[str]) -> int:
         return 3
     finally:
         solver.engine.close()
+        if collector is not None:
+            telemetry.disable()
+            # stderr keeps stdout pure JSON for CI diffing.
+            print(telemetry.render_summary(collector), file=sys.stderr)
+            if args.trace_out is not None:
+                _write_trace(collector, args, sys.stderr)
     print(json.dumps(result.to_json_dict(), sort_keys=True))
     return 0
 
@@ -343,6 +379,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "no seed is given",
     )
     parser.add_argument(
+        "--slow-job-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="log a warning and count service.jobs.slow for jobs whose "
+        "execution takes at least SECONDS",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
     )
     _add_engine_arguments(parser)
@@ -382,7 +426,10 @@ def _serve_main(argv: List[str]) -> int:
     store = ResultStore(capacity=args.store_capacity, path=args.store)
     journal = JobJournal(args.journal) if args.journal else None
     service = SolverService(
-        workers=args.service_workers, store=store, journal=journal
+        workers=args.service_workers,
+        store=store,
+        journal=journal,
+        slow_job_seconds=args.slow_job_seconds,
     ).start()
     interrupted = service.interrupted_jobs()
     if interrupted:
@@ -463,6 +510,5 @@ def main(argv: List[str] | None = None) -> int:
         print()
         print(telemetry.render_summary(collector))
         if args.trace_out is not None:
-            telemetry.write_jsonl(collector, args.trace_out)
-            print(f"\ntrace written to {args.trace_out}")
+            _write_trace(collector, args, sys.stdout)
     return 0

@@ -15,19 +15,25 @@ the full schema):
 * ``GET /healthz`` — liveness: status, package version, worker count,
   queue depth, per-state job counts.
 * ``GET /metrics`` — the active telemetry collector's counters and
-  histogram aggregates as JSON (``?format=text`` renders flat
-  ``name value`` lines); empty tables when telemetry is disabled.
+  histogram aggregates.  Content-negotiated: ``Accept:
+  application/json`` (what :class:`~repro.service.client.ServiceClient`
+  sends) returns the JSON summary; anything else (curl, Prometheus
+  scrapers) gets Prometheus text exposition with sanitized metric
+  names and ``_bucket``/``_sum``/``_count`` histogram series.
+  ``?format=json`` / ``?format=text`` override the header.
 
 The server is a ``ThreadingHTTPServer``: handlers run on their own
 threads and only touch the service through its thread-safe surface.
 Request handling increments ``service.http.requests`` /
-``service.http.errors``.
+``service.http.errors`` and observes per-route/status latency into
+``service.http.request_seconds.<method>.<route>.<status>``.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
@@ -72,16 +78,15 @@ def _metrics_payload() -> Dict[str, Any]:
     }
 
 
-def _metrics_text(payload: Dict[str, Any]) -> str:
-    """Flat ``name value`` lines (one histogram stat per line)."""
-    lines = []
-    for name in sorted(payload["counters"]):
-        lines.append(f"{name} {payload['counters'][name]:g}")
-    for name in sorted(payload["histograms"]):
-        stats = payload["histograms"][name]
-        for stat in ("count", "total", "min", "max", "mean"):
-            lines.append(f"{name}.{stat} {stats[stat]:g}")
-    return "\n".join(lines) + "\n"
+def _metrics_text() -> str:
+    """Prometheus text exposition of the active collector.
+
+    Dotted metric names are sanitized to the Prometheus grammar
+    (``service.http.requests`` → ``service_http_requests``) and
+    histograms expand into cumulative ``_bucket``/``_sum``/``_count``
+    series — see :func:`repro.telemetry.prometheus_text`.
+    """
+    return telemetry.prometheus_text(telemetry.active())
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -103,6 +108,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: Any) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -111,6 +117,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _send_text(self, status: int, text: str) -> None:
         body = text.encode("utf-8")
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", "text/plain; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
@@ -139,12 +146,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         telemetry.add("service.http.requests")
+        started = time.perf_counter()
+        self._status = 0
+        route = "unknown"
         try:
             # Chaos hook: an injected fault here exercises the 500 path
             # without touching the service (the server must stay alive).
             faults.point("http.handler")
             path, query = self._route()
-            handler = getattr(self, f"_{method}_{_route_name(path)}", None)
+            route = _route_name(path)
+            handler = getattr(self, f"_{method}_{route}", None)
             if handler is None:
                 raise _ApiError(404, f"no route for {method.upper()} {path}")
             handler(path, query)
@@ -157,6 +168,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 — keep the server alive
             telemetry.add("service.http.errors")
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            telemetry.observe(
+                f"service.http.request_seconds.{method}.{route}."
+                f"{self._status or 0}",
+                time.perf_counter() - started,
+            )
 
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
         self._dispatch("get")
@@ -186,11 +203,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         )
 
     def _get_metrics(self, path: str, query: Dict[str, Any]) -> None:
-        payload = _metrics_payload()
-        if query.get("format") == "text":
-            self._send_text(200, _metrics_text(payload))
+        wants_json = "application/json" in (self.headers.get("Accept") or "")
+        fmt = query.get("format")
+        if fmt == "json" or (fmt != "text" and wants_json):
+            self._send_json(200, _metrics_payload())
         else:
-            self._send_json(200, payload)
+            self._send_text(200, _metrics_text())
 
     def _get_jobs(self, path: str, query: Dict[str, Any]) -> None:
         parts = path.strip("/").split("/")

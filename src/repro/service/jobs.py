@@ -124,6 +124,14 @@ class Job:
     State transitions are lock-protected and monotonic: once a job is
     terminal its state, result, and error never change, and the ``done``
     event is set exactly once.
+
+    Every lifecycle transition is also appended to :attr:`timeline` — the
+    job's flight recorder: submission, dedup coalescing, queue pickup,
+    retries/backoffs, cancellation requests, and settlement, each stamped
+    with seconds since submission.  Workers additionally attach the job's
+    execution span tree as :attr:`trace` when telemetry is active; both
+    ride along on :meth:`to_dict`, so a job record carries its own
+    "why was this slow" answer.
     """
 
     def __init__(
@@ -148,10 +156,15 @@ class Job:
         self.submitted_at = clock()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        #: flight-recorder events ({"event", "t", ...}), oldest first.
+        self.timeline: List[Dict[str, Any]] = []
+        #: execution span tree (Span.to_dict) when telemetry was active.
+        self.trace: Optional[Dict[str, Any]] = None
         self._lock = threading.Lock()
         self._done = threading.Event()
         self._cancel_event = threading.Event()
         self.cancel_requested = False
+        self.record_event("submitted", priority=spec.priority)
 
     # ------------------------------------------------------------------
     # Deadline
@@ -175,6 +188,23 @@ class Job:
         return remaining is not None and remaining <= 0.0
 
     # ------------------------------------------------------------------
+    # Flight recorder
+    # ------------------------------------------------------------------
+    def record_event(self, event: str, **fields: Any) -> None:
+        """Append a timeline event stamped with seconds since submission."""
+        entry = self._event(event, **fields)
+        with self._lock:
+            self.timeline.append(entry)
+
+    def _event(self, event: str, **fields: Any) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "event": event,
+            "t": round(self._clock() - self.submitted_at, 6),
+        }
+        entry.update(fields)
+        return entry
+
+    # ------------------------------------------------------------------
     # Transitions
     # ------------------------------------------------------------------
     def mark_running(self) -> bool:
@@ -183,6 +213,12 @@ class Job:
                 return False
             self.state = JobState.RUNNING
             self.started_at = self._clock()
+            self.timeline.append(
+                self._event(
+                    "started",
+                    queued_seconds=round(self.started_at - self.submitted_at, 6),
+                )
+            )
             return True
 
     def mark_done(
@@ -204,9 +240,11 @@ class Job:
         with self._lock:
             self.cancel_requested = True
             self._cancel_event.set()
+            self.timeline.append(self._event("cancel_requested"))
             if self.state is JobState.PENDING:
                 self.state = JobState.CANCELLED
                 self.finished_at = self._clock()
+                self.timeline.append(self._event("finished", state="cancelled"))
                 self._done.set()
                 return True
             return self.state is JobState.CANCELLED
@@ -225,6 +263,7 @@ class Job:
                 return self.state is JobState.CANCELLED
             self.state = JobState.CANCELLED
             self.finished_at = self._clock()
+            self.timeline.append(self._event("finished", state="cancelled"))
             self._done.set()
             return True
 
@@ -245,6 +284,10 @@ class Job:
             self.error = error
             self.from_cache = from_cache
             self.finished_at = self._clock()
+            entry = self._event("finished", state=state.value)
+            if from_cache:
+                entry["from_cache"] = True
+            self.timeline.append(entry)
             self._done.set()
             return True
 
@@ -278,6 +321,8 @@ class Job:
                     if self.finished_at is not None and self.started_at is not None
                     else None
                 ),
+                "timeline": [dict(entry) for entry in self.timeline],
+                "trace": self.trace,
             }
         if include_problem:
             record["spec"] = self.spec.to_dict()

@@ -46,11 +46,14 @@ interrupted.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro import faults, telemetry
+
+_LOG = logging.getLogger("repro.service")
 from repro.engine import CircuitCache, configure_defaults
 from repro.faults import WorkerCrash
 from repro.problems.io import problem_from_dict, problem_to_dict
@@ -116,6 +119,9 @@ class SolverService:
             jobs until the capacity sweep needs the room.
         journal: optional :class:`~repro.service.journal.JobJournal`
             recording every job lifecycle event for post-crash triage.
+        slow_job_seconds: execution-time threshold above which a finished
+            job is logged (``repro.service`` logger, WARNING) and counted
+            in ``service.jobs.slow``; ``None`` disables the slow-job log.
     """
 
     def __init__(
@@ -129,6 +135,7 @@ class SolverService:
         max_jobs: int = 4096,
         job_ttl: Optional[float] = 900.0,
         journal: Optional[JobJournal] = None,
+        slow_job_seconds: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ServiceError("workers must be >= 1")
@@ -141,6 +148,9 @@ class SolverService:
         self.journal = journal
         self.max_jobs = int(max_jobs)
         self.job_ttl = None if job_ttl is None else float(job_ttl)
+        self.slow_job_seconds = (
+            None if slow_job_seconds is None else float(slow_job_seconds)
+        )
         self._runner = runner if runner is not None else default_runner
         self._sleep = sleep
         self._shared_cache_size = int(shared_cache_size)
@@ -309,6 +319,7 @@ class SolverService:
             return job
         primary = self.dedup.admit(job)
         if primary is not None:
+            job.record_event("coalesced", primary=primary.id)
             # Re-check: the primary may have finished between the store
             # lookup and admit; settle immediately from its outcome.
             if primary.state.terminal:
@@ -450,6 +461,10 @@ class SolverService:
             # Cancelled between dequeue and here.
             self._settle_followers(job)
             return
+        if job.started_at is not None:
+            telemetry.observe(
+                "service.jobs.queue_seconds", job.started_at - job.submitted_at
+            )
         self._journal("running", job)
         spec = job.spec
         problem_name = spec.problem.get("name", spec.problem.get("type"))
@@ -483,6 +498,9 @@ class SolverService:
                     if attempt >= spec.max_retries or job.cancel_requested:
                         break
                     telemetry.add("service.jobs.retries")
+                    job.record_event(
+                        "retry", attempt=attempt + 1, error=failure
+                    )
                     if self._backoff(job, attempt):
                         break  # cancellation interrupted the backoff
             if failure is None and record is not None:
@@ -506,9 +524,25 @@ class SolverService:
                 job.mark_failed(failure or "runner returned no record")
                 self._journal("failed", job, detail=failure)
             if job.started_at is not None and job.finished_at is not None:
-                telemetry.observe(
-                    "service.jobs.run_seconds", job.finished_at - job.started_at
-                )
+                elapsed = job.finished_at - job.started_at
+                telemetry.observe("service.jobs.run_seconds", elapsed)
+                if (
+                    self.slow_job_seconds is not None
+                    and elapsed >= self.slow_job_seconds
+                ):
+                    telemetry.add("service.jobs.slow")
+                    _LOG.warning(
+                        "slow job %s (%s): %.3fs >= %.3fs threshold, state=%s",
+                        job.id,
+                        problem_name,
+                        elapsed,
+                        self.slow_job_seconds,
+                        state,
+                    )
+        # Flight recorder: attach this execution's span tree to the job
+        # record (the span has ended by here, so its duration is final).
+        if isinstance(job_span, telemetry.Span):
+            job.trace = job_span.to_dict()
         self._settle_followers(job)
 
     def _backoff(self, job: Job, attempt: int) -> bool:

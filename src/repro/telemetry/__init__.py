@@ -6,9 +6,11 @@ Three primitives, all behind one global switch:
   records start/end times, nesting, and structured attributes.
 * **Counters / histograms** — named scalar aggregates (circuit
   executions, total shots, CX gates, sparse-state support sizes, ...).
-* **Sinks** — the in-memory :class:`TelemetryCollector` (default), a
-  JSONL exporter/loader for offline analysis, and human-readable
-  tree/summary renderers.
+* **Sinks & exporters** — the in-memory :class:`TelemetryCollector`
+  (default, mergeable across processes), a JSONL exporter/loader for
+  offline analysis, human-readable tree/summary renderers, Prometheus
+  text exposition (:func:`prometheus_text`), and Chrome trace-event
+  JSON (:func:`write_chrome_trace`, loadable in Perfetto).
 
 Disabled telemetry is a no-op fast path: every instrumentation call
 checks a single module attribute and returns, so the instrumented hot
@@ -28,18 +30,27 @@ Instrumentation conventions (canonical names) are documented in
 """
 
 from repro.telemetry.core import (
+    BUCKET_BASE,
     NOOP_SPAN,
     Histogram,
     Span,
     TelemetryCollector,
     active,
     add,
+    bucket_bound,
+    bucket_index,
     disable,
     enable,
     enabled,
     observe,
     session,
     span,
+)
+from repro.telemetry.exporters import (
+    chrome_trace,
+    prometheus_text,
+    sanitize_metric_name,
+    write_chrome_trace,
 )
 from repro.telemetry.sinks import (
     read_jsonl,
@@ -49,20 +60,27 @@ from repro.telemetry.sinks import (
 )
 
 __all__ = [
+    "BUCKET_BASE",
     "Histogram",
     "NOOP_SPAN",
     "Span",
     "TelemetryCollector",
     "active",
     "add",
+    "bucket_bound",
+    "bucket_index",
+    "chrome_trace",
     "disable",
     "enable",
     "enabled",
     "observe",
+    "prometheus_text",
     "read_jsonl",
     "render_summary",
     "render_tree",
+    "sanitize_metric_name",
     "session",
     "span",
+    "write_chrome_trace",
     "write_jsonl",
 ]

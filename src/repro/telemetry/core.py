@@ -10,6 +10,16 @@ so spans opened by concurrent workers (the :mod:`repro.service` worker
 pool) nest correctly within their own thread and become additional roots
 rather than corrupting another thread's stack.  Counter and histogram
 updates are lock-protected; the disabled fast path is unchanged.
+
+Collectors are also *mergeable* across processes: a child process (an
+``engine.map`` pool worker) records into its own collector, serialises it
+with :meth:`TelemetryCollector.to_delta`, and ships the plain-dict delta
+back over the pool's result channel; the parent stitches the child's span
+trees under the originating span with :meth:`TelemetryCollector.merge`
+and accumulates its counters/histograms, so a parallel run produces one
+coherent trace with totals that match a serial run.  Histograms are
+log-bucketed for exactly this reason — bucket tables merge losslessly
+where a bare mean cannot, and they expose tail quantiles (p50/p90/p99).
 """
 
 from __future__ import annotations
@@ -22,12 +32,15 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
 __all__ = [
+    "BUCKET_BASE",
     "Histogram",
     "NOOP_SPAN",
     "Span",
     "TelemetryCollector",
     "active",
     "add",
+    "bucket_bound",
+    "bucket_index",
     "disable",
     "enable",
     "enabled",
@@ -87,38 +100,149 @@ class Span:
         )
 
 
+#: Log-bucket growth factor: each bucket's upper bound is ~19% above the
+#: previous one (2**0.25), giving <= 19% relative quantile error over a
+#: huge dynamic range with a handful of occupied buckets per histogram.
+BUCKET_BASE = 2.0 ** 0.25
+_LOG_BUCKET_BASE = math.log(BUCKET_BASE)
+
+
+def bucket_index(value: float) -> int:
+    """Index of the log bucket covering a positive ``value``.
+
+    Bucket ``i`` covers ``(BUCKET_BASE**(i-1), BUCKET_BASE**i]``, so the
+    returned index's :func:`bucket_bound` is an upper bound on ``value``.
+    """
+    return math.ceil(math.log(value) / _LOG_BUCKET_BASE - 1e-12)
+
+
+def bucket_bound(index: int) -> float:
+    """Upper bound of log bucket ``index``."""
+    return BUCKET_BASE ** index
+
+
 @dataclass
 class Histogram:
-    """Streaming aggregate of observed values (count/total/min/max)."""
+    """Mergeable log-bucketed aggregate of observed values.
+
+    Keeps the streaming count/total/min/max of the original telemetry
+    layer and additionally buckets positive values into log-spaced bins
+    (non-positive values land in :attr:`underflow`), which is what makes
+    two histograms mergeable across processes and tail quantiles
+    (:meth:`quantile`, :attr:`p50`/:attr:`p90`/:attr:`p99`) answerable.
+    """
 
     count: int = 0
     total: float = 0.0
     minimum: float = math.inf
     maximum: float = -math.inf
+    #: log-bucket index -> observation count (positive values only).
+    buckets: Dict[int, int] = field(default_factory=dict)
+    #: observations <= 0 (upper bound 0.0 in exports).
+    underflow: int = 0
 
     def observe(self, value: float) -> None:
+        value = float(value)
         self.count += 1
         self.total += value
         if value < self.minimum:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        if value <= 0.0:
+            self.underflow += 1
+        else:
+            index = bucket_index(value)
+            self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (exact for count/total/
+        min/max and bucket tables; the basis of cross-process merging)."""
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            if other.minimum < self.minimum:
+                self.minimum = other.minimum
+            if other.maximum > self.maximum:
+                self.maximum = other.maximum
+        self.underflow += other.underflow
+        for index, bucket_count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + bucket_count
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def to_dict(self) -> Dict[str, float]:
+    def _clamp(self, value: float) -> float:
+        return min(max(value, self.minimum), self.maximum)
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile from the bucket table.
+
+        Returns the upper bound of the bucket holding the rank-``q``
+        observation, clamped to the observed [min, max] (so a single
+        observation reports itself exactly).  Histograms loaded from
+        legacy payloads without buckets degrade to linear interpolation
+        between min and max.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        observed = self.underflow + sum(self.buckets.values())
+        if observed == 0:
+            return self.minimum + q * (self.maximum - self.minimum)
+        rank = max(1, math.ceil(q * observed))
+        cumulative = self.underflow
+        if rank <= cumulative:
+            return self._clamp(0.0)
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= rank:
+                return self._clamp(bucket_bound(index))
+        return self.maximum
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.quantile(0.90)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def to_dict(self) -> Dict[str, Any]:
         return {
             "count": self.count,
             "total": self.total,
             "min": self.minimum if self.count else 0.0,
             "max": self.maximum if self.count else 0.0,
             "mean": self.mean,
+            "p50": self.p50 if self.count else 0.0,
+            "p90": self.p90 if self.count else 0.0,
+            "p95": self.p95 if self.count else 0.0,
+            "p99": self.p99 if self.count else 0.0,
+            "underflow": self.underflow,
+            "buckets": {
+                str(index): count for index, count in sorted(self.buckets.items())
+            },
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "Histogram":
+        """Rebuild from :meth:`to_dict` output.
+
+        Back-compatible: payloads written before buckets existed (only
+        count/total/min/max) load fine and degrade to interpolated
+        quantiles.
+        """
         histogram = cls(
             count=int(payload.get("count", 0)),
             total=float(payload.get("total", 0.0)),
@@ -126,6 +250,11 @@ class Histogram:
         if histogram.count:
             histogram.minimum = float(payload["min"])
             histogram.maximum = float(payload["max"])
+        histogram.underflow = int(payload.get("underflow", 0))
+        histogram.buckets = {
+            int(index): int(count)
+            for index, count in payload.get("buckets", {}).items()
+        }
         return histogram
 
 
@@ -229,6 +358,11 @@ class TelemetryCollector:
     def counter(self, name: str) -> float:
         return self.counters.get(name, 0.0)
 
+    def histogram(self, name: str) -> Histogram:
+        """One histogram by name (a fresh empty one when never observed)."""
+        with self._lock:
+            return self.histograms.get(name) or Histogram()
+
     def snapshot_counters(self) -> Dict[str, float]:
         """Copy of the counter table (for before/after deltas)."""
         with self._lock:
@@ -246,6 +380,64 @@ class TelemetryCollector:
                 "spans": self._span_count,
                 "dropped_spans": self.dropped_spans,
             }
+
+    # ------------------------------------------------------------------
+    # Cross-process merging
+    # ------------------------------------------------------------------
+    def to_delta(self) -> Dict[str, Any]:
+        """Serializable snapshot of everything this collector recorded.
+
+        The wire format for cross-process telemetry: a pool worker
+        records into a private collector, returns ``to_delta()`` (plain
+        dicts — picklable and JSON-safe), and the parent folds it in with
+        :meth:`merge`.
+        """
+        with self._lock:
+            return {
+                "spans": [root.to_dict() for root in self.roots],
+                "counters": dict(self.counters),
+                "histograms": {
+                    name: histogram.to_dict()
+                    for name, histogram in self.histograms.items()
+                },
+                "dropped_spans": self.dropped_spans,
+            }
+
+    def merge(
+        self,
+        delta: "TelemetryCollector | Dict[str, Any]",
+        *,
+        parent: Optional[Span] = None,
+    ) -> None:
+        """Fold another collector (or a :meth:`to_delta` dict) into this one.
+
+        Counters accumulate, histograms merge bucket-wise, and the
+        delta's span trees are stitched under ``parent`` (e.g. the
+        ``engine.map`` span that fanned the work out) — or appended as
+        new roots when ``parent`` is ``None``.  Counter totals after a
+        merge match what a single-collector (serial) run would have
+        recorded.
+        """
+        if isinstance(delta, TelemetryCollector):
+            delta = delta.to_delta()
+        spans = [Span.from_dict(payload) for payload in delta.get("spans", [])]
+        with self._lock:
+            for name, value in delta.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0.0) + value
+            for name, payload in delta.get("histograms", {}).items():
+                histogram = self.histograms.get(name)
+                if histogram is None:
+                    self.histograms[name] = Histogram.from_dict(payload)
+                else:
+                    histogram.merge(Histogram.from_dict(payload))
+            self.dropped_spans += int(delta.get("dropped_spans", 0))
+            self._span_count += sum(
+                1 for root in spans for _ in root.walk()
+            )
+            if parent is None:
+                self.roots.extend(spans)
+        if parent is not None:
+            parent.children.extend(spans)
 
 
 class _NoopSpan:

@@ -8,18 +8,21 @@ The JSONL format is one JSON object per line:
   operation.
 * ``{"type": "counter", "name": ..., "value": ...}``
 * ``{"type": "histogram", "name": ..., "count": ..., "total": ...,
-  "min": ..., "max": ...}``
+  "min": ..., "max": ..., "p50": ..., "p90": ..., "p95": ..., "p99":
+  ..., "underflow": ..., "buckets": {...}}`` — the log-bucket table
+  makes reloaded histograms mergeable and quantile-capable.
 
 :func:`read_jsonl` reconstructs a :class:`TelemetryCollector` from such a
 file (round-trip safe), which is what offline analysis notebooks and the
-CI smoke job consume.
+CI smoke job consume; pass ``into=`` to accumulate several trace files
+into one collector.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import IO, List, Union
+from typing import IO, List, Optional, Union
 
 from repro.telemetry.core import Histogram, Span, TelemetryCollector
 
@@ -60,8 +63,16 @@ def _write_stream(collector: TelemetryCollector, stream: IO[str]) -> None:
         stream.write(json.dumps(record) + "\n")
 
 
-def read_jsonl(source: Union[str, Path, IO[str]]) -> TelemetryCollector:
+def read_jsonl(
+    source: Union[str, Path, IO[str]],
+    into: Optional[TelemetryCollector] = None,
+) -> TelemetryCollector:
     """Load a JSONL trace back into an (inactive) collector.
+
+    ``into`` replays the file into an existing collector — replayed
+    aggregates *accumulate*: counters add up and histograms merge
+    bucket-wise, so loading two trace files into one collector totals
+    them instead of silently dropping the first file's aggregates.
 
     Raises:
         ValueError: on malformed lines or an unsupported format version.
@@ -70,7 +81,7 @@ def read_jsonl(source: Union[str, Path, IO[str]]) -> TelemetryCollector:
         lines = source.read().splitlines()
     else:
         lines = Path(source).read_text(encoding="utf-8").splitlines()
-    collector = TelemetryCollector()
+    collector = into if into is not None else TelemetryCollector()
     for number, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
@@ -86,13 +97,24 @@ def read_jsonl(source: Union[str, Path, IO[str]]) -> TelemetryCollector:
                 raise ValueError(
                     f"line {number}: unsupported trace version {version!r}"
                 )
-            collector.dropped_spans = int(record.get("dropped_spans", 0))
+            collector.dropped_spans += int(record.get("dropped_spans", 0))
         elif kind == "span":
-            collector.roots.append(Span.from_dict(record))
+            root = Span.from_dict(record)
+            collector.roots.append(root)
+            collector._span_count += sum(1 for _ in root.walk())
         elif kind == "counter":
-            collector.counters[record["name"]] = float(record["value"])
+            name = record["name"]
+            collector.counters[name] = collector.counters.get(
+                name, 0.0
+            ) + float(record["value"])
         elif kind == "histogram":
-            collector.histograms[record["name"]] = Histogram.from_dict(record)
+            name = record["name"]
+            loaded = Histogram.from_dict(record)
+            existing = collector.histograms.get(name)
+            if existing is None:
+                collector.histograms[name] = loaded
+            else:
+                existing.merge(loaded)
         else:
             raise ValueError(f"line {number}: unknown record type {kind!r}")
     return collector
@@ -182,7 +204,10 @@ def render_summary(collector: TelemetryCollector) -> str:
             lines.append(
                 f"  {name:<{width}}  count={h.count} mean={h.mean:.2f} "
                 f"min={h.minimum if h.count else 0:g} "
-                f"max={h.maximum if h.count else 0:g}"
+                f"max={h.maximum if h.count else 0:g} "
+                f"p50={h.p50 if h.count else 0:g} "
+                f"p90={h.p90 if h.count else 0:g} "
+                f"p99={h.p99 if h.count else 0:g}"
             )
     else:
         lines.append("  (none)")

@@ -426,5 +426,87 @@ class TestParallelDeterminism:
         assert serial.final_distribution == parallel.final_distribution
 
 
+#: Counters that legitimately depend on the process topology: per-process
+#: caches recompile in each worker, and engine.parallel.* only exists on
+#: the fan-out path.  Everything else must match a serial run exactly.
+_TOPOLOGY_COUNTERS = ("engine.cache.", "engine.parallel.")
+
+
+class TestParallelTelemetryEquivalence:
+    def _traced_solve(self, problem, workers):
+        from repro.core.solver import RasenganConfig, RasenganSolver
+
+        config = RasenganConfig(
+            shots=None,
+            max_iterations=6,
+            restarts=3,
+            seed=11,
+            engine_workers=workers,
+        )
+        solver = RasenganSolver(problem, config=config)
+        with telemetry.session() as collector:
+            try:
+                solver.solve()
+            finally:
+                solver.engine.close()
+        return collector
+
+    @staticmethod
+    def _invariant_counters(collector):
+        return {
+            name: value
+            for name, value in collector.counters.items()
+            if not name.startswith(_TOPOLOGY_COUNTERS)
+        }
+
+    def test_counters_and_histograms_match_serial(self, small_flp):
+        serial = self._traced_solve(small_flp, 0)
+        parallel = self._traced_solve(small_flp, 2)
+        assert self._invariant_counters(parallel) == self._invariant_counters(
+            serial
+        )
+        assert set(parallel.histograms) == set(serial.histograms)
+        for name, histogram in serial.histograms.items():
+            assert parallel.histograms[name].count == histogram.count, name
+            assert parallel.histograms[name].buckets == histogram.buckets, name
+
+    def test_worker_spans_stitched_under_engine_map(self, small_flp):
+        collector = self._traced_solve(small_flp, 2)
+        map_spans = [
+            node
+            for node in collector.iter_spans()
+            if node.name == "engine.map"
+        ]
+        assert map_spans, "parallel solve should open an engine.map span"
+        restarts = [
+            child
+            for node in map_spans
+            for child in node.children
+            if child.name == "restart"
+        ]
+        assert len(restarts) == 3
+        worker_pids = {span.attributes.get("worker_pid") for span in restarts}
+        assert None not in worker_pids
+        assert {span.attributes.get("task_index") for span in restarts} == {
+            0,
+            1,
+            2,
+        }
+        # The stitched children keep their own subtrees (restart spans
+        # nest the per-iteration work recorded in the worker process).
+        assert any(span.children for span in restarts)
+
+    def test_serial_map_has_no_worker_stitching(self, small_flp):
+        collector = self._traced_solve(small_flp, 0)
+        assert "engine.map" not in set(collector.span_names())
+        restarts = [
+            node for node in collector.iter_spans() if node.name == "restart"
+        ]
+        assert len(restarts) == 3
+        assert all(
+            "worker_pid" not in span.attributes for span in restarts
+        )
+
+
 def _square(x):
     return x * x

@@ -50,14 +50,54 @@ class TestHealthAndMetrics:
 
     def test_metrics_json_and_text(self, live_service):
         _, server, client, _ = live_service
+        # The client sends Accept: application/json and keeps the JSON
+        # summary shape.
         payload = client.metrics()
         assert payload["enabled"] is True
         assert "counters" in payload and "histograms" in payload
+        # Everyone else (curl, Prometheus scrapers) gets text exposition
+        # with sanitized metric names.
         with urllib.request.urlopen(
             server.url + "/metrics?format=text", timeout=5
         ) as response:
             text = response.read().decode()
-        assert "service.http.requests" in text
+        assert "telemetry_enabled 1" in text
+        assert "service_http_requests" in text
+        assert "service.http.requests" not in text
+
+    def test_metrics_prometheus_passes_checker(self, live_service):
+        _, server, client, _ = live_service
+        client.solve(benchmark="F1", config=QUICK, wait_timeout=60.0)
+        request = urllib.request.Request(server.url + "/metrics")
+        with urllib.request.urlopen(request, timeout=5) as response:
+            text = response.read().decode()
+        from check_trace_outputs import check_prometheus_text
+
+        assert check_prometheus_text(text) == []
+        # Histogram families (job runtimes, per-route HTTP latency) are
+        # expanded into _bucket/_sum/_count series.
+        assert 'service_jobs_run_seconds_bucket{le="+Inf"}' in text
+        assert "service_jobs_run_seconds_count" in text
+        assert "service_http_request_seconds_post_jobs_201" in text
+
+    def test_job_record_carries_flight_recorder(self, live_service):
+        _, _, client, collector = live_service
+        job = client.submit(
+            benchmark="F1", config=QUICK, wait=True, wait_timeout=60.0
+        )
+        assert job["state"] == "done"
+        events = [entry["event"] for entry in job["timeline"]]
+        assert events[0] == "submitted"
+        assert "started" in events and "finished" in events
+        started = next(
+            entry for entry in job["timeline"] if entry["event"] == "started"
+        )
+        assert started["queued_seconds"] >= 0
+        assert job["trace"] is not None
+        assert job["trace"]["name"] == "service.job"
+        nested = [child["name"] for child in job["trace"]["children"]]
+        assert "solve" in nested
+        assert collector.histogram("service.jobs.queue_seconds").count >= 1
 
 
 class TestJobRoutes:
