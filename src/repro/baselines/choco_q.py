@@ -67,6 +67,13 @@ class ChocoQ(VariationalBaseline):
     def num_parameters(self) -> int:
         return 2 * self.layers
 
+    def ansatz_structure(self):
+        return {
+            "layers": int(self.layers),
+            "trotter_steps": int(self.trotter_steps),
+            "trotter_order": int(self.trotter_order),
+        }
+
     def initial_parameters(self) -> np.ndarray:
         return np.full(self.num_parameters, 0.1)
 

@@ -13,9 +13,8 @@ distribution with COBYLA, matching the paper's protocol (Section 5.1).
 from __future__ import annotations
 
 import abc
-import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -26,12 +25,10 @@ from repro.engine import AnsatzSpec, ExecutionEngine
 from repro.engine.registry import BackendSpec
 from repro.linalg.bitvec import int_to_bits
 from repro.metrics.arg import approximation_ratio_gap
+from repro.pipeline import compile_ansatz
 from repro.problems.base import ConstrainedBinaryProblem
 from repro.simulators.seeding import SeedBank, make_rng
 from repro import telemetry
-
-#: Process-unique ansatz cache keys (one per baseline instance).
-_ANSATZ_IDS = itertools.count()
 
 
 @dataclass
@@ -101,6 +98,7 @@ class VariationalBaseline(abc.ABC):
             )
         self.engine = engine
         self._spec: Optional[AnsatzSpec] = None
+        self._spec_structure: Optional[Dict[str, Any]] = None
 
     @property
     def backend(self):
@@ -126,15 +124,42 @@ class VariationalBaseline(abc.ABC):
         """Gate-level circuit of the ansatz (for depth/noisy execution)."""
 
     # ------------------------------------------------------------------
+    def ansatz_structure(self) -> Dict[str, Any]:
+        """JSON-compatible structural knobs of the ansatz circuit.
+
+        Everything that changes the *shape* of the circuit (layer counts,
+        frozen qubits, Trotterisation) belongs here: it is fingerprinted —
+        together with the problem and the penalty encoding — into the
+        ansatz's content address by :func:`repro.pipeline.compile_ansatz`.
+        """
+        return {}
+
     def ansatz_spec(self) -> AnsatzSpec:
-        """This baseline's engine work description (cached)."""
-        if self._spec is None:
+        """This baseline's engine work description (content-addressed).
+
+        The compiled-circuit cache key comes from the pipeline's
+        encode/ansatz passes, so identical baseline instances (same
+        problem, penalty, and structure) share one synthesized ansatz in
+        the engine cache instead of each holding a process-unique key.
+        The spec is rebuilt if the structure changes after construction
+        (e.g. a later frozen-qubit selection).
+        """
+        structure = self.ansatz_structure()
+        if self._spec is None or self._spec_structure != structure:
+            artifact = compile_ansatz(
+                self.problem,
+                self.algorithm,
+                self.num_parameters,
+                structure,
+                penalty=self.encoding.penalty,
+            )
             self._spec = AnsatzSpec(
-                key=("ansatz", self.algorithm, next(_ANSATZ_IDS)),
+                key=artifact.cache_key,
                 num_parameters=self.num_parameters,
                 build=self.build_circuit,
                 statevector=self.simulate,
             )
+            self._spec_structure = structure
         return self._spec
 
     def bound_circuit(self, parameters: np.ndarray) -> QuantumCircuit:

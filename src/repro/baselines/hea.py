@@ -48,6 +48,9 @@ class HardwareEfficientAnsatz(VariationalBaseline):
         n = self.problem.num_variables
         return 2 * n * (self.layers + 1)
 
+    def ansatz_structure(self):
+        return {"layers": int(self.layers)}
+
     def initial_parameters(self) -> np.ndarray:
         return self._rng.uniform(-0.1, 0.1, size=self.num_parameters)
 

@@ -79,6 +79,14 @@ class PenaltyQAOA(VariationalBaseline):
     def num_parameters(self) -> int:
         return 2 * self.layers
 
+    def ansatz_structure(self):
+        # Frozen qubits change the circuit shape, so they are part of the
+        # ansatz identity (sorted for a deterministic fingerprint).
+        return {
+            "layers": int(self.layers),
+            "frozen": {str(q): int(v) for q, v in sorted(self.frozen.items())},
+        }
+
     def initial_parameters(self) -> np.ndarray:
         if self.parameter_init == "zero":
             return np.zeros(self.num_parameters)

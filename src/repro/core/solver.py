@@ -12,6 +12,15 @@ Pipeline (paper, Sections 3-4):
 6. drive the per-transition evolution times with COBYLA to minimise the
    expected objective of the final feasible distribution.
 
+Steps 1-4 (plus circuit synthesis and depth accounting) run as the
+staged compilation pipeline of :mod:`repro.pipeline`: each pass produces
+an immutable, content-addressed artifact, so a second solver over the
+same problem — a service job differing only in backend or shot budget, a
+figure sweep, a restart worker — reuses every pre-execution artifact
+from the :class:`~repro.pipeline.cache.ArtifactCache` instead of
+recomputing it.  :class:`RasenganSolver` is a thin orchestration over
+that pipeline; its public API and its results are unchanged.
+
 All execution goes through the unified
 :class:`~repro.engine.ExecutionEngine`: ``backend=None`` selects the
 exact sparse fast path (the offline counterpart of the artifact's DDSim
@@ -25,33 +34,64 @@ multi-start restarts.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import optimize as sciopt
 
-from repro.circuits.depth import CX_PER_NONZERO
-from repro.core.prune import PruneResult, build_schedule, prune_schedule
-from repro.core.purification import purify_probabilities
-from repro.core.segmentation import (
-    SegmentPlan,
-    plan_segments,
-    plan_segments_by_cost,
-)
-from repro.core.simplify import simplify_basis
+from repro.core.prune import PruneResult
 from repro.engine import ExecutionEngine, TransitionChainSpec
 from repro.engine.registry import BackendSpec
 from repro import telemetry
 from repro.exceptions import NoFeasibleStateError, SolverError
 from repro.linalg.bitvec import bits_to_int, int_to_bits
-from repro.linalg.moves import augment_moves_for_connectivity
 from repro.metrics.arg import approximation_ratio_gap
+from repro.pipeline import CircuitArtifact, ExecutionStage, SolvePipeline
+from repro.pipeline.cache import ArtifactCache
 from repro.problems.base import ConstrainedBinaryProblem
 from repro.simulators.seeding import SeedBank, make_rng
 
 #: Score assigned when an execution produces no feasible state at all.
 _FAILURE_SCORE = 1e9
+
+#: Names importable from this module before the pipeline refactor moved
+#: them; kept working for one release via the deprecation shim below.
+_MOVED_NAMES = {
+    "CX_PER_NONZERO": ("repro.circuits.depth", "CX_PER_NONZERO"),
+    "build_schedule": ("repro.core.prune", "build_schedule"),
+    "prune_schedule": ("repro.core.prune", "prune_schedule"),
+    "purify_probabilities": ("repro.core.purification", "purify_probabilities"),
+    "SegmentPlan": ("repro.core.segmentation", "SegmentPlan"),
+    "plan_segments": ("repro.core.segmentation", "plan_segments"),
+    "plan_segments_by_cost": ("repro.core.segmentation", "plan_segments_by_cost"),
+    "simplify_basis": ("repro.core.simplify", "simplify_basis"),
+    "augment_moves_for_connectivity": ("repro.linalg.moves", "augment_moves_for_connectivity"),
+}
+
+
+def __getattr__(name: str):
+    """Deprecation shim for pre-pipeline imports of stage internals.
+
+    ``repro.core.solver`` used to re-export the stage building blocks it
+    imported (``prune_schedule``, ``simplify_basis``, ...); they now live
+    behind :mod:`repro.pipeline` stages.  Old imports keep working for
+    one release but warn.
+    """
+    moved = _MOVED_NAMES.get(name)
+    if moved is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, attr = moved
+    warnings.warn(
+        f"importing {attr!r} from repro.core.solver is deprecated since the "
+        f"pipeline refactor; import it from {module_name} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
 
 
 @dataclass
@@ -205,7 +245,23 @@ def _run_restart(task) -> Tuple[np.ndarray, List[float]]:
 
 
 class RasenganSolver:
-    """Variational solver implementing the full Rasengan pipeline."""
+    """Variational solver: thin orchestration over the staged pipeline.
+
+    Construction compiles the problem through the five pre-execution
+    passes (basis → hamiltonian → prune → segmentation → circuit) of a
+    :class:`~repro.pipeline.SolvePipeline`, reusing any artifact the
+    content-addressed cache already holds; :meth:`solve` then trains the
+    evolution times through the terminal (uncached) execution stage.
+
+    Args:
+        problem: the problem instance.
+        backend: backend spec forwarded to the engine (``None`` = exact).
+        config: solver knobs (default :class:`RasenganConfig`).
+        engine: share an existing engine instead of building one.
+        artifact_cache: pipeline artifact cache; ``None`` uses the
+            process-wide default (see
+            :func:`repro.pipeline.configure_cache`).
+    """
 
     def __init__(
         self,
@@ -213,6 +269,7 @@ class RasenganSolver:
         backend: BackendSpec = None,
         config: Optional[RasenganConfig] = None,
         engine: Optional[ExecutionEngine] = None,
+        artifact_cache: Optional[ArtifactCache] = None,
     ) -> None:
         self.problem = problem
         self.config = config or RasenganConfig()
@@ -226,55 +283,20 @@ class RasenganSolver:
             )
         self.engine = engine
 
-        self.initial_bits = problem.initial_feasible_solution()
-        with telemetry.span("basis", problem=problem.name):
-            self.basis = self._choose_basis(problem.homogeneous_basis)
-        if self.config.warm_start:
-            from repro.core.warmstart import hill_climb_initial_solution
-
-            # Hill climbing moves along the move set, so the improved
-            # start stays in the same connected component and coverage
-            # guarantees are unaffected.
-            with telemetry.span("warm_start"):
-                self.initial_bits = hill_climb_initial_solution(
-                    problem, self.basis, start=self.initial_bits
-                )
-
-        m = self.basis.shape[0]
-        with telemetry.span("prune", moves=m) as prune_span:
-            if self.config.enable_prune:
-                self.pruned = prune_schedule(self.basis, self.initial_bits)
-            else:
-                full = build_schedule(m)
-                self.pruned = PruneResult(
-                    schedule=list(full),
-                    kept_positions=list(range(len(full))),
-                    original_length=len(full),
-                    coverage_after=[],
-                    total_reachable=-1,
-                )
-            prune_span.set(
-                kept=len(self.pruned.schedule),
-                original=self.pruned.original_length,
-            )
-        self.schedule: List[int] = list(self.pruned.schedule)
-        with telemetry.span("segmentation") as seg_span:
-            if self.config.max_segment_cx is not None:
-                costs = [
-                    CX_PER_NONZERO * int(np.count_nonzero(self.basis[index]))
-                    for index in self.schedule
-                ]
-                self.plan: SegmentPlan = plan_segments_by_cost(
-                    costs, self.config.max_segment_cx
-                )
-            else:
-                self.plan = plan_segments(
-                    len(self.schedule), self.config.transitions_per_segment
-                )
-            seg_span.set(segments=self.plan.num_segments)
+        self.pipeline = SolvePipeline(
+            problem, self.config, cache=artifact_cache
+        )
+        artifacts = self.pipeline.compile()
+        self.initial_bits = artifacts["prune"].initial_bits
+        self.basis = artifacts["hamiltonian"].basis
+        self.pruned = artifacts["prune"].pruned
+        self.schedule: List[int] = list(artifacts["prune"].schedule)
+        self.plan = artifacts["segmentation"].plan
+        self.circuit_artifact: CircuitArtifact = artifacts["circuit"]
         self.chain = TransitionChainSpec(
             self.basis, self.schedule, problem.num_variables
         )
+        self._executor = ExecutionStage(problem, self.config)
 
     @property
     def backend(self):
@@ -282,40 +304,21 @@ class RasenganSolver:
         return self.engine.backend
 
     # ------------------------------------------------------------------
-    # Basis selection
+    # Basis selection (deprecated — lives in the hamiltonian pass now)
     # ------------------------------------------------------------------
     def _choose_basis(self, raw: np.ndarray) -> np.ndarray:
-        """Pick the cheapest connected move set.
+        """Deprecated: use :func:`repro.pipeline.choose_basis`."""
+        warnings.warn(
+            "RasenganSolver._choose_basis is deprecated; the selection runs "
+            "inside the pipeline's hamiltonian stage "
+            "(repro.pipeline.choose_basis)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.pipeline import choose_basis
 
-        Simplification (Algorithm 1) lowers per-transition cost but can
-        disconnect the feasible space, forcing connectivity augmentation
-        to add back wide vectors; occasionally the raw basis ends up
-        cheaper overall.  When both simplification and augmentation are
-        enabled, the solver evaluates both candidates by the pruned-chain
-        CX cost and keeps the cheaper one.
-        """
-        candidates = []
-        if self.config.enable_simplify:
-            candidates.append(
-                simplify_basis(raw, iterate=self.config.simplify_iterate)
-            )
-        if not self.config.enable_simplify or self.config.enable_augment:
-            candidates.append(raw)
-        if self.config.enable_augment:
-            candidates = [
-                augment_moves_for_connectivity(basis, self.initial_bits)
-                for basis in candidates
-            ]
-        if len(candidates) == 1:
-            return candidates[0]
-
-        def pruned_cost(basis: np.ndarray) -> int:
-            pruned = prune_schedule(basis, self.initial_bits)
-            return sum(
-                int(np.count_nonzero(basis[index])) for index in pruned.schedule
-            )
-
-        return min(candidates, key=pruned_cost)
+        winner, _, _ = choose_basis(raw, self.initial_bits, self.config)
+        return winner
 
     # ------------------------------------------------------------------
     # Introspection
@@ -331,21 +334,11 @@ class RasenganSolver:
 
     def segment_two_qubit_cost(self) -> int:
         """Largest per-segment CX cost under the linear ``34 k`` model."""
-        cost = 0
-        for segment in self.plan:
-            segment_cost = sum(
-                CX_PER_NONZERO * int(np.count_nonzero(self.basis[self.schedule[pos]]))
-                for pos in segment
-            )
-            cost = max(cost, segment_cost)
-        return cost
+        return self.circuit_artifact.max_segment_cx
 
     def chain_two_qubit_cost(self) -> int:
         """Whole-chain CX cost under the linear model (unsegmented)."""
-        return sum(
-            CX_PER_NONZERO * int(np.count_nonzero(self.basis[index]))
-            for index in self.schedule
-        )
+        return self.circuit_artifact.chain_cx
 
     def segment_circuit(self, positions: Sequence[int], times: Sequence[float]):
         """Bound gate-level circuit of one segment (engine-cached)."""
@@ -377,27 +370,14 @@ class RasenganSolver:
             base_shots = self.config.shots
         else:
             base_shots = self.config.shots or 1024
-        distribution: Dict[int, float] = {bits_to_int(self.initial_bits): 1.0}
-        rate = 1.0
-        for index, segment in enumerate(self.plan):
-            times_slice = [times[pos] for pos in segment]
-            shots = (
-                None
-                if base_shots is None
-                else self._segment_shots(index, base_shots)
-            )
-            raw = self.engine.run_segment(
-                self.chain,
-                segment,
-                times_slice,
-                distribution,
-                shots,
-                segment_index=index,
-            )
-            rate = self._feasible_mass(raw)
-            distribution = self._purify_or_keep(raw)
-            distribution = self._drop_tiny(distribution)
-        return distribution, rate
+        return self._executor.run(
+            self.engine,
+            self.chain,
+            self.plan,
+            self.initial_bits,
+            times,
+            base_shots,
+        )
 
     def execute_batch(
         self, batch: Sequence[Sequence[float]]
@@ -407,35 +387,17 @@ class RasenganSolver:
 
     def _segment_shots(self, segment_index: int, base: int) -> int:
         """Shots for one segment under the geometric growth schedule."""
-        growth = self.config.shots_growth
-        if growth == 1.0:
-            return base
-        return max(1, int(round(base * growth**segment_index)))
+        return self._executor.segment_shots(segment_index, base)
 
     # ------------------------------------------------------------------
     def _feasible_mass(self, distribution: Dict[int, float]) -> float:
-        mass = 0.0
-        n = self.problem.num_variables
-        for key, probability in distribution.items():
-            if self.problem.is_feasible(int_to_bits(key, n)):
-                mass += probability
-        return mass
+        return self._executor._feasible_mass(distribution)
 
     def _purify_or_keep(self, raw: Dict[int, float]) -> Dict[int, float]:
-        if not self.config.enable_purify:
-            return raw
-        purified, _ = purify_probabilities(
-            raw, self.problem.constraint_matrix, self.problem.bound
-        )
-        return purified
+        return self._executor._purify_or_keep(raw)
 
     def _drop_tiny(self, distribution: Dict[int, float]) -> Dict[int, float]:
-        threshold = self.config.min_seed_probability
-        kept = {k: p for k, p in distribution.items() if p >= threshold}
-        if not kept:
-            kept = distribution
-        mass = sum(kept.values())
-        return {k: p / mass for k, p in kept.items()}
+        return self._executor._drop_tiny(distribution)
 
     # ------------------------------------------------------------------
     # Training

@@ -11,6 +11,9 @@ Usage::
     python -m repro table2 --engine-workers 4
     python -m repro solve F1 --seed 7 --shots 256 --restarts 2
     python -m repro solve F1 --timeout 30
+    python -m repro solve F1 --spill-dir .artifacts
+    python -m repro inspect F1
+    python -m repro inspect F1 --config '{"max_segment_cx": 150}'
     python -m repro serve --port 8042 --service-workers 4
     python -m repro serve --store results.jsonl --journal journal.jsonl
     python -m repro serve --chaos-seed 7
@@ -41,6 +44,13 @@ benchmark and prints a deterministic JSON record; CI diffs its output
 across ``--engine-workers`` settings.  ``--timeout`` enforces a
 wall-clock limit through the service's job-deadline machinery (exit
 code 3 on expiry).
+
+``inspect`` compiles one benchmark through the staged pipeline without
+executing anything and prints deterministic JSON: per-stage fingerprints,
+artifact sizes, sources, and the ``pipeline.cache.*`` statistics (see
+``docs/ARCHITECTURE.md``).  ``--spill-dir`` (on ``solve``, ``serve`` and
+``inspect``) persists pipeline artifacts as content-addressed ``.npz``
+files so later invocations skip the pre-execution stages.
 
 ``serve`` starts the long-running solve service (job queue, dedup,
 worker pool, JSON/HTTP API — see ``docs/SERVICE.md``) and blocks until
@@ -282,9 +292,21 @@ def build_solve_parser() -> argparse.ArgumentParser:
         help="wall-clock limit enforced through the service job-deadline "
         "machinery; exit code 3 on expiry",
     )
+    _add_spill_argument(parser)
     _add_trace_arguments(parser)
     _add_engine_arguments(parser)
     return parser
+
+
+def _add_spill_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="persist pipeline artifacts as content-addressed .npz files "
+        "in DIR; later invocations reuse them and skip the "
+        "pre-execution stages",
+    )
 
 
 def _solve_main(argv: List[str]) -> int:
@@ -293,6 +315,10 @@ def _solve_main(argv: List[str]) -> int:
     from repro.service.jobs import JobTimeoutError, run_with_deadline
 
     args = build_solve_parser().parse_args(argv)
+    if args.spill_dir is not None:
+        from repro.pipeline import configure_cache
+
+        configure_cache(spill_dir=args.spill_dir)
     config = RasenganConfig(
         shots=args.shots,
         max_iterations=args.iterations,
@@ -320,6 +346,62 @@ def _solve_main(argv: List[str]) -> int:
             if args.trace_out is not None:
                 _write_trace(collector, args, sys.stderr)
     print(json.dumps(result.to_json_dict(), sort_keys=True))
+    return 0
+
+
+def build_inspect_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro inspect",
+        description="Compile one benchmark through the staged pipeline "
+        "(without executing) and print per-stage fingerprints, artifact "
+        "sizes, and cache statistics as deterministic JSON.",
+    )
+    parser.add_argument("benchmark", help="benchmark id (e.g. F1, K2, S1)")
+    parser.add_argument("--case", type=int, default=0, help="benchmark case")
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="JSON",
+        help="solver config overrides as a JSON object "
+        '(e.g. \'{"max_segment_cx": 150}\')',
+    )
+    _add_spill_argument(parser)
+    return parser
+
+
+def _inspect_main(argv: List[str]) -> int:
+    from repro.pipeline import ArtifactCache, SolvePipeline
+    from repro.problems.registry import make_benchmark
+    from repro.service.jobs import ServiceError, solver_config_from_dict
+
+    args = build_inspect_parser().parse_args(argv)
+    try:
+        overrides = json.loads(args.config) if args.config else {}
+        if not isinstance(overrides, dict):
+            raise ServiceError("--config must be a JSON object")
+        config = solver_config_from_dict(overrides)
+    except (json.JSONDecodeError, ServiceError) as exc:
+        print(json.dumps({"error": str(exc)}), file=sys.stderr)
+        return 2
+    problem = make_benchmark(args.benchmark, case=args.case)
+    cache = ArtifactCache(spill_dir=args.spill_dir)
+    pipeline = SolvePipeline(problem, config, cache=cache)
+    artifacts = pipeline.compile()
+    record = {
+        "problem": problem.name,
+        "fingerprint": pipeline.problem_fingerprint,
+        "stages": [
+            {
+                "name": entry["stage"],
+                "fingerprint": entry["fingerprint"],
+                "source": entry["source"],
+                "size_bytes": artifacts[entry["stage"]].nbytes(),
+            }
+            for entry in pipeline.report
+        ],
+        "cache": cache.stats(),
+    }
+    print(json.dumps(record, sort_keys=True, indent=2))
     return 0
 
 
@@ -389,6 +471,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--verbose", action="store_true", help="log each HTTP request"
     )
+    _add_spill_argument(parser)
     _add_engine_arguments(parser)
     return parser
 
@@ -430,6 +513,7 @@ def _serve_main(argv: List[str]) -> int:
         store=store,
         journal=journal,
         slow_job_seconds=args.slow_job_seconds,
+        artifact_spill_dir=args.spill_dir,
     ).start()
     interrupted = service.interrupted_jobs()
     if interrupted:
@@ -467,6 +551,8 @@ def main(argv: List[str] | None = None) -> int:
         return _solve_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "inspect":
+        return _inspect_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.experiments:
         for name, (description, _) in EXPERIMENTS.items():

@@ -144,16 +144,11 @@ def run_algorithm(
         )
         solver = RasenganSolver(problem, backend=backend, config=config)
         result = solver.solve()
-        # Depth of the deepest executed segment, decomposed.  The segment
-        # circuits come from the engine's compiled cache (synthesized once
-        # during the run, rebound here with the trained times).
-        depth = depth_2q = 0
-        for segment in solver.plan:
-            times = [float(result.best_parameters[pos]) for pos in segment]
-            circuit = solver.segment_circuit(segment, times)
-            flat = decompose_circuit(circuit)
-            depth = max(depth, circuit_depth(flat, decompose=False))
-            depth_2q = max(depth_2q, two_qubit_depth(flat, decompose=False))
+        # Depth of the deepest executed segment, decomposed — read straight
+        # off the pipeline's circuit artifact (depth is independent of the
+        # trained times, so the compile-time accounting is the executed one).
+        depth = solver.circuit_artifact.max_depth
+        depth_2q = solver.circuit_artifact.max_depth_2q
         return AlgorithmRun(
             algorithm=name,
             problem_name=problem.name,

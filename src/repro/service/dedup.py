@@ -18,6 +18,13 @@ count is an execution detail, not an identity.
 of the running primary; when the primary finishes, the service copies
 its outcome to every follower.  Counters: ``service.dedup.unique``,
 ``service.dedup.coalesced``, ``service.dedup.shared_results``.
+
+Jobs that are *not* whole-job identical still coalesce at **stage**
+granularity: the service installs a shared
+:class:`~repro.pipeline.cache.ArtifactCache`, so two jobs over the same
+problem that differ only in shots, seed, or optimizer budget share every
+pre-execution pipeline artifact (basis through circuit).  Each job's
+``pipeline`` timeline event records which stages were cache hits.
 """
 
 from __future__ import annotations

@@ -56,6 +56,7 @@ from repro import faults, telemetry
 _LOG = logging.getLogger("repro.service")
 from repro.engine import CircuitCache, configure_defaults
 from repro.faults import WorkerCrash
+from repro.pipeline import ArtifactCache, capture_report, configure_cache
 from repro.problems.io import problem_from_dict, problem_to_dict
 from repro.problems.registry import make_benchmark
 from repro.service.dedup import DedupIndex, job_fingerprint
@@ -111,6 +112,14 @@ class SolverService:
         shared_cache_size: capacity of the process-wide compiled-circuit
             cache installed while the service runs; ``0`` disables
             sharing.
+        artifact_cache_size: capacity of the process-wide pipeline
+            :class:`~repro.pipeline.cache.ArtifactCache` installed while
+            the service runs — jobs over the same problem coalesce at
+            *stage* granularity (a job differing only in shots or
+            optimizer budget reuses every pre-execution artifact); ``0``
+            keeps the ambient default cache.
+        artifact_spill_dir: optional spill directory for the service's
+            artifact cache, persisting artifacts across restarts.
         max_jobs: soft capacity of the in-memory job index; when
             exceeded, the oldest *terminal* jobs are evicted first
             (non-terminal jobs are never evicted).
@@ -132,6 +141,8 @@ class SolverService:
         runner: Optional[JobRunner] = None,
         sleep: Optional[Callable[[float], None]] = None,
         shared_cache_size: int = 512,
+        artifact_cache_size: int = 256,
+        artifact_spill_dir: Optional[str] = None,
         max_jobs: int = 4096,
         job_ttl: Optional[float] = 900.0,
         journal: Optional[JobJournal] = None,
@@ -154,6 +165,9 @@ class SolverService:
         self._runner = runner if runner is not None else default_runner
         self._sleep = sleep
         self._shared_cache_size = int(shared_cache_size)
+        self._artifact_cache_size = int(artifact_cache_size)
+        self._artifact_spill_dir = artifact_spill_dir
+        self._previous_artifact_cache: Optional[ArtifactCache] = None
         self._jobs: Dict[str, Job] = {}
         self._jobs_lock = threading.Lock()
         self._threads: List[threading.Thread] = []
@@ -177,6 +191,13 @@ class SolverService:
         if self._shared_cache_size > 0:
             self._previous_defaults = configure_defaults(
                 cache=CircuitCache(self._shared_cache_size)
+            )
+        if self._artifact_cache_size > 0:
+            self._previous_artifact_cache = configure_cache(
+                ArtifactCache(
+                    max_entries=self._artifact_cache_size,
+                    spill_dir=self._artifact_spill_dir,
+                )
             )
         for _ in range(self.workers):
             self._spawn_worker()
@@ -236,6 +257,9 @@ class SolverService:
         if self._previous_defaults is not None:
             configure_defaults(cache=self._previous_defaults.cache)
             self._previous_defaults = None
+        if self._previous_artifact_cache is not None:
+            configure_cache(self._previous_artifact_cache)
+            self._previous_artifact_cache = None
         if self.journal is not None:
             self.journal.record("service.stop")
 
@@ -482,7 +506,7 @@ class SolverService:
                 try:
                     faults.point("worker.run")
                     record = run_with_deadline(
-                        lambda: self._runner(spec),
+                        lambda: self._run_captured(job, spec),
                         job.remaining(),
                         label=job.id,
                     )
@@ -544,6 +568,31 @@ class SolverService:
         if isinstance(job_span, telemetry.Span):
             job.trace = job_span.to_dict()
         self._settle_followers(job)
+
+    def _run_captured(self, job: Job, spec: JobSpec) -> Dict[str, Any]:
+        """Run the job's runner, recording its pipeline stage resolutions.
+
+        Runs inside :func:`run_with_deadline`'s callable so the capture
+        lives on whichever thread actually executes the runner.  The
+        resulting ``pipeline`` timeline event shows — per stage — the
+        fingerprint prefix and whether the artifact was a cache hit,
+        i.e. how much of the job coalesced at stage granularity.
+        """
+        with capture_report() as stages:
+            record = self._runner(spec)
+        if stages:
+            job.record_event(
+                "pipeline",
+                stages=[
+                    {
+                        "stage": entry["stage"],
+                        "fingerprint": entry["fingerprint"][:12],
+                        "source": entry["source"],
+                    }
+                    for entry in stages
+                ],
+            )
+        return record
 
     def _backoff(self, job: Job, attempt: int) -> bool:
         """Sleep before retry ``attempt + 1``; True when cancelled mid-sleep.

@@ -236,8 +236,15 @@ class TestSolverIntegration:
             config = RasenganConfig(shots=64, max_iterations=10, seed=0)
             RasenganSolver(small_flp, config=config).solve()
         names = set(collector.span_names())
-        # Pipeline phases...
-        assert {"basis", "prune", "segmentation", "solve"} <= names
+        # Pipeline passes (one span per stage)...
+        assert {
+            "pipeline.basis",
+            "pipeline.hamiltonian",
+            "pipeline.prune",
+            "pipeline.segmentation",
+            "pipeline.circuit",
+            "solve",
+        } <= names
         # ...per-segment execution and a simulator-level span.
         assert "segment" in names
         assert "sparse.evolve" in names

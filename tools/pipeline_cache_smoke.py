@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the staged pipeline's artifact cache.
+
+Runs ``python -m repro solve`` twice as real subprocesses sharing one
+``--spill-dir``, then checks that
+
+* the warm run's JSON record is **bit-for-bit** identical to the cold
+  run's;
+* the spill directory holds one content-addressed ``.npz`` per
+  pre-execution stage;
+* a verification pass over the same spill directory reuses **every**
+  pre-execution stage (``pipeline.computed.*`` all zero,
+  ``pipeline.cache.hits`` / ``spill_hits`` cover all five stages) and
+  reproduces identical stage fingerprints;
+* cold/warm wall-clock timings land in ``BENCH_pipeline_cache.json``
+  for cross-PR diffing.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/pipeline_cache_smoke.py
+
+Exits non-zero with a diagnostic on the first failed check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+BENCHMARK = "F1"
+SOLVE_ARGS = [
+    BENCHMARK,
+    "--seed", "7",
+    "--shots", "256",
+    "--iterations", "10",
+    "--restarts", "2",
+]
+STAGES = ["basis", "hamiltonian", "prune", "segmentation", "circuit"]
+BENCH_OUT = os.environ.get("BENCH_OUT", "BENCH_pipeline_cache.json")
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def child_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_solve(spill_dir: str) -> tuple[str, float]:
+    """One ``solve`` subprocess; returns (stdout JSON line, seconds)."""
+    start = time.perf_counter()
+    process = subprocess.run(
+        [sys.executable, "-m", "repro", "solve", *SOLVE_ARGS,
+         "--spill-dir", spill_dir],
+        capture_output=True,
+        text=True,
+        env=child_env(),
+    )
+    elapsed = time.perf_counter() - start
+    if process.returncode != 0:
+        fail(f"solve exited {process.returncode}:\n{process.stderr}")
+    return process.stdout, elapsed
+
+
+def verify_warm_compile(spill_dir: str) -> dict:
+    """Compile in-process against the spill dir; all stages must be hits."""
+    sys.path.insert(0, SRC)
+    from repro import telemetry
+    from repro.core.solver import RasenganConfig
+    from repro.pipeline import ArtifactCache, SolvePipeline
+    from repro.problems.registry import make_benchmark
+
+    problem = make_benchmark(BENCHMARK)
+    config = RasenganConfig(seed=7, shots=256, max_iterations=10, restarts=2)
+    cache = ArtifactCache(spill_dir=spill_dir)
+    with telemetry.session() as collector:
+        pipeline = SolvePipeline(problem, config, cache=cache)
+        pipeline.compile()
+    computed = {
+        name: collector.counter(f"pipeline.computed.{name}")
+        for name in STAGES
+    }
+    if any(computed.values()):
+        fail(f"warm compile re-ran stages: {computed}")
+    hits = collector.counter("pipeline.cache.hits")
+    spill_hits = collector.counter("pipeline.cache.spill_hits")
+    if hits != len(STAGES) or spill_hits != len(STAGES):
+        fail(
+            f"expected {len(STAGES)} spill-backed cache hits, got "
+            f"hits={hits} spill_hits={spill_hits}"
+        )
+    sources = [entry["source"] for entry in pipeline.report]
+    if sources != ["cache"] * len(STAGES):
+        fail(f"expected every stage from cache, got {sources}")
+    print(f"warm compile: all {len(STAGES)} stages served from spill cache")
+    return {entry["stage"]: entry["fingerprint"] for entry in pipeline.report}
+
+
+def main() -> int:
+    spill_dir = tempfile.mkdtemp(prefix="pipeline-cache-smoke-")
+    try:
+        cold_record, cold_seconds = run_solve(spill_dir)
+        spilled = sorted(
+            name for name in os.listdir(spill_dir) if name.endswith(".npz")
+        )
+        if len(spilled) != len(STAGES):
+            fail(
+                f"expected {len(STAGES)} spilled artifacts, found "
+                f"{len(spilled)}: {spilled}"
+            )
+        print(f"cold solve: {cold_seconds:.2f}s, spilled {len(spilled)} artifacts")
+
+        warm_record, warm_seconds = run_solve(spill_dir)
+        if warm_record != cold_record:
+            fail(
+                "warm-cache record differs from cold record:\n"
+                f"cold: {cold_record}\nwarm: {warm_record}"
+            )
+        print(f"warm solve: {warm_seconds:.2f}s, record bit-identical")
+
+        fingerprints = verify_warm_compile(spill_dir)
+        for name in STAGES:
+            if f"{fingerprints[name]}.npz" not in spilled:
+                fail(
+                    f"stage {name} fingerprint {fingerprints[name][:12]}… "
+                    "has no matching spill file"
+                )
+        print("stage fingerprints match their content-addressed spill files")
+
+        bench = {
+            "benchmark": BENCHMARK,
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "stages": fingerprints,
+            "spilled_artifacts": len(spilled),
+        }
+        with open(BENCH_OUT, "w", encoding="utf-8") as handle:
+            json.dump(bench, handle, indent=2, sort_keys=True)
+        print(f"wrote {BENCH_OUT}")
+        print("pipeline cache smoke: OK")
+        return 0
+    finally:
+        shutil.rmtree(spill_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
