@@ -8,22 +8,30 @@ Telemetry opt-in: set ``REPRO_BENCH_TELEMETRY=1`` to run every benchmark
 under an active telemetry collector and dump a per-test counter summary
 (circuit executions, shots, CX gates, sparse support, ...) plus a span
 tree to ``benchmarks/results/telemetry/<test>.txt``, alongside a
-machine-readable ``BENCH_<test>.json`` with the full counter table and
-per-histogram quantiles (p50/p95/p99) — the measurement substrate for
-comparing perf work across PRs.
+machine-readable ``<test>.bench.json`` in the versioned
+``repro.bench.schema`` format (one workload per test: the test's
+wall-clock as its single sample, the full counter table, and the
+per-histogram quantile payloads as an extra field) — the same artifact
+format ``python -m repro bench run`` emits, so figure benchmarks and the
+bench suites feed one comparison engine (``docs/BENCHMARKS.md``).
+
+Compatibility: the pre-schema filename ``BENCH_<test>.json`` is kept for
+one release as an alias holding identical schema content; readers should
+migrate to ``<test>.bench.json``.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
 import re
+import time
 import warnings
 
 import pytest
 
 from repro import telemetry
+from repro.bench import schema as bench_schema
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 TELEMETRY_DIR = RESULTS_DIR / "telemetry"
@@ -60,9 +68,11 @@ def bench_telemetry(request):
         yield None
         return
     collector = telemetry.enable()
+    start = time.perf_counter()
     try:
         yield collector
     finally:
+        elapsed = time.perf_counter() - start
         telemetry.disable()
     TELEMETRY_DIR.mkdir(parents=True, exist_ok=True)
     safe_name = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
@@ -74,10 +84,28 @@ def bench_telemetry(request):
         + "\n"
     )
     (TELEMETRY_DIR / f"{safe_name}.txt").write_text(report)
-    # Machine-readable dump: full counter table plus per-histogram
-    # quantiles (p50/p95/p99 come from Histogram.to_dict).
-    payload = {"test": request.node.nodeid}
-    payload.update(collector.summary())
+    # Machine-readable dump in the versioned bench schema: the test is a
+    # single workload whose one sample is its wall-clock, carrying the
+    # full counter table and (as an extra, forward-compatible field) the
+    # per-histogram quantile payloads from ``collector.summary()``.
+    summary = collector.summary()
+    entry = bench_schema.workload_entry(
+        seed=0,
+        samples_seconds=[elapsed],
+        counters={k: float(v) for k, v in summary.get("counters", {}).items()},
+        description=f"figure benchmark {request.node.nodeid}",
+        histograms=summary.get("histograms", {}),
+    )
+    bench_report = bench_schema.new_report(
+        "figures",
+        {request.node.nodeid: entry},
+        repeats=1,
+        warmup=0,
+    )
+    canonical = TELEMETRY_DIR / f"{safe_name}.bench.json"
+    bench_schema.write_report(bench_report, str(canonical))
+    # Legacy alias (pre-schema name), kept for one release: same schema
+    # content under the old BENCH_<test>.json filename.
     (TELEMETRY_DIR / f"BENCH_{safe_name}.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        canonical.read_text()
     )

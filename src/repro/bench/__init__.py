@@ -1,0 +1,69 @@
+"""repro.bench — deterministic performance benchmarks with regression gating.
+
+The measurement substrate for every perf-relevant PR (see
+``docs/BENCHMARKS.md``):
+
+* :mod:`repro.bench.workloads` — a registry of seeded workloads spanning
+  the micro (simulator/decomposition/pipeline/engine hot paths), macro
+  (end-to-end solves), and service (HTTP round-trip, dedup burst) layers.
+* :mod:`repro.bench.runner` — warmup + GC-pinned monotonic timing +
+  a separate telemetry counter pass per workload.
+* :mod:`repro.bench.schema` — the versioned ``BENCH_<suite>.json``
+  artifact format (forward-compatible: unknown fields round-trip).
+* :mod:`repro.bench.compare` — bootstrap-CI-on-the-median regression
+  verdicts; never bare mean-vs-mean.
+* :mod:`repro.bench.cli` — ``python -m repro bench {list,run,compare,gate}``;
+  ``gate`` exits 4 on statistically significant regressions against the
+  committed baseline under ``benchmarks/baselines/``.
+"""
+
+from repro.bench.compare import (
+    Comparison,
+    WorkloadComparison,
+    compare_reports,
+    format_comparison,
+)
+from repro.bench.runner import run_suite, run_workload
+from repro.bench.schema import (
+    SCHEMA_ID,
+    SCHEMA_VERSION,
+    BenchSchemaError,
+    environment_fingerprint,
+    load_report,
+    new_report,
+    validate_report,
+    workload_entry,
+    write_report,
+)
+from repro.bench.workloads import (
+    SUITES,
+    Workload,
+    get_workload,
+    register_workload,
+    workload_names,
+    workloads_for,
+)
+
+__all__ = [
+    "BenchSchemaError",
+    "Comparison",
+    "SCHEMA_ID",
+    "SCHEMA_VERSION",
+    "SUITES",
+    "Workload",
+    "WorkloadComparison",
+    "compare_reports",
+    "environment_fingerprint",
+    "format_comparison",
+    "get_workload",
+    "load_report",
+    "new_report",
+    "register_workload",
+    "run_suite",
+    "run_workload",
+    "validate_report",
+    "workload_entry",
+    "workload_names",
+    "workloads_for",
+    "write_report",
+]

@@ -1,0 +1,302 @@
+"""Statistical comparison of two BENCH reports.
+
+Per workload present in both reports, the verdict comes from a seeded
+bootstrap confidence interval on the **relative change of medians**
+(:func:`repro.metrics.statistics.bootstrap_ratio_ci`), never a bare
+mean-vs-mean comparison:
+
+* ``regressed`` — the whole interval lies above ``+threshold``: the
+  candidate is slower by more than the noise allowance, with
+  ``confidence`` coverage.
+* ``improved`` — the whole interval lies below ``-threshold``.
+* ``neutral`` — everything else: the interval straddles zero, or the
+  shift is within the noise threshold.
+
+Workloads present in only one report are listed as ``added`` /
+``removed`` and never affect the gate verdict (a new workload is not a
+regression).  Counter drift (same workload, different recorded counter
+values) is surfaced separately: counters are deterministic by contract,
+so a drift means the *work itself* changed — e.g. a PR added circuit
+executions — which is exactly the kind of silent behavioral change the
+bench substrate exists to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.metrics.statistics import bootstrap_ci, bootstrap_ratio_ci
+
+__all__ = [
+    "DEFAULT_CONFIDENCE",
+    "DEFAULT_RESAMPLES",
+    "DEFAULT_THRESHOLD",
+    "Comparison",
+    "WorkloadComparison",
+    "compare_reports",
+    "format_comparison",
+]
+
+#: Relative noise allowance: shifts whose CI stays within ±10% are
+#: neutral.  Timing medians over a handful of repeats routinely wobble a
+#: few percent on a busy machine; 10% keeps same-tree comparisons quiet
+#: while still flagging real hot-path regressions.
+DEFAULT_THRESHOLD = 0.10
+DEFAULT_CONFIDENCE = 0.95
+DEFAULT_RESAMPLES = 2000
+
+
+@dataclass(frozen=True)
+class WorkloadComparison:
+    """The verdict on one workload."""
+
+    name: str
+    verdict: str  # regressed | improved | neutral | added | removed
+    baseline_median: Optional[float] = None
+    candidate_median: Optional[float] = None
+    #: Point estimate of the relative change (candidate/baseline - 1).
+    change: Optional[float] = None
+    #: Bootstrap CI of the relative change.
+    change_ci: Optional[Tuple[float, float]] = None
+    #: Per-side bootstrap CIs of the median itself (diagnostics).
+    baseline_ci: Optional[Tuple[float, float]] = None
+    candidate_ci: Optional[Tuple[float, float]] = None
+    #: Counters whose recorded values differ: name -> (baseline, candidate).
+    counter_drift: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "verdict": self.verdict,
+            "baseline_median": self.baseline_median,
+            "candidate_median": self.candidate_median,
+            "change": self.change,
+            "change_ci": list(self.change_ci) if self.change_ci else None,
+            "baseline_ci": list(self.baseline_ci) if self.baseline_ci else None,
+            "candidate_ci": (
+                list(self.candidate_ci) if self.candidate_ci else None
+            ),
+            "counter_drift": {
+                name: list(values)
+                for name, values in sorted(self.counter_drift.items())
+            },
+        }
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """The full report-vs-report comparison."""
+
+    workloads: List[WorkloadComparison]
+    threshold: float
+    confidence: float
+    environment_mismatch: List[str]
+
+    def by_verdict(self, verdict: str) -> List[WorkloadComparison]:
+        return [w for w in self.workloads if w.verdict == verdict]
+
+    @property
+    def regressed(self) -> List[WorkloadComparison]:
+        return self.by_verdict("regressed")
+
+    @property
+    def improved(self) -> List[WorkloadComparison]:
+        return self.by_verdict("improved")
+
+    @property
+    def counter_drifts(self) -> List[WorkloadComparison]:
+        return [w for w in self.workloads if w.counter_drift]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "threshold": self.threshold,
+            "confidence": self.confidence,
+            "environment_mismatch": list(self.environment_mismatch),
+            "workloads": [w.to_dict() for w in self.workloads],
+            "summary": {
+                verdict: len(self.by_verdict(verdict))
+                for verdict in (
+                    "regressed", "improved", "neutral", "added", "removed"
+                )
+            },
+        }
+
+
+def _environment_mismatch(
+    baseline: Dict[str, Any], candidate: Dict[str, Any]
+) -> List[str]:
+    """Human-readable mismatches between the two environment fingerprints."""
+    base_env = baseline.get("environment", {}) or {}
+    cand_env = candidate.get("environment", {}) or {}
+    mismatches = []
+    for key in sorted(set(base_env) | set(cand_env)):
+        if base_env.get(key) != cand_env.get(key):
+            mismatches.append(
+                f"{key}: baseline={base_env.get(key)!r} "
+                f"candidate={cand_env.get(key)!r}"
+            )
+    return mismatches
+
+
+def compare_reports(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    confidence: float = DEFAULT_CONFIDENCE,
+    resamples: int = DEFAULT_RESAMPLES,
+    seed: int = 0,
+) -> Comparison:
+    """Judge ``candidate`` against ``baseline``, workload by workload."""
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    base_workloads: Dict[str, Any] = baseline.get("workloads", {})
+    cand_workloads: Dict[str, Any] = candidate.get("workloads", {})
+    results: List[WorkloadComparison] = []
+    for name in sorted(set(base_workloads) | set(cand_workloads)):
+        if name not in cand_workloads:
+            entry = base_workloads[name]
+            results.append(
+                WorkloadComparison(
+                    name=name,
+                    verdict="removed",
+                    baseline_median=float(
+                        np.median(entry["samples_seconds"])
+                    ),
+                )
+            )
+            continue
+        if name not in base_workloads:
+            entry = cand_workloads[name]
+            results.append(
+                WorkloadComparison(
+                    name=name,
+                    verdict="added",
+                    candidate_median=float(
+                        np.median(entry["samples_seconds"])
+                    ),
+                )
+            )
+            continue
+        base_entry = base_workloads[name]
+        cand_entry = cand_workloads[name]
+        base_samples = [float(s) for s in base_entry["samples_seconds"]]
+        cand_samples = [float(s) for s in cand_entry["samples_seconds"]]
+        base_median = float(np.median(base_samples))
+        cand_median = float(np.median(cand_samples))
+        floor = np.finfo(float).tiny
+        change = cand_median / max(base_median, floor) - 1.0
+        change_ci = bootstrap_ratio_ci(
+            base_samples,
+            cand_samples,
+            confidence=confidence,
+            resamples=resamples,
+            seed=seed,
+        )
+        if change_ci[0] > threshold:
+            verdict = "regressed"
+        elif change_ci[1] < -threshold:
+            verdict = "improved"
+        else:
+            verdict = "neutral"
+        drift: Dict[str, Tuple[float, float]] = {}
+        base_counters = base_entry.get("counters", {}) or {}
+        cand_counters = cand_entry.get("counters", {}) or {}
+        for counter in set(base_counters) | set(cand_counters):
+            base_value = float(base_counters.get(counter, 0.0))
+            cand_value = float(cand_counters.get(counter, 0.0))
+            if base_value != cand_value:
+                drift[counter] = (base_value, cand_value)
+        results.append(
+            WorkloadComparison(
+                name=name,
+                verdict=verdict,
+                baseline_median=base_median,
+                candidate_median=cand_median,
+                change=change,
+                change_ci=change_ci,
+                baseline_ci=bootstrap_ci(
+                    base_samples,
+                    confidence=confidence,
+                    resamples=resamples,
+                    seed=seed,
+                ),
+                candidate_ci=bootstrap_ci(
+                    cand_samples,
+                    confidence=confidence,
+                    resamples=resamples,
+                    seed=seed,
+                ),
+                counter_drift=drift,
+            )
+        )
+    return Comparison(
+        workloads=results,
+        threshold=threshold,
+        confidence=confidence,
+        environment_mismatch=_environment_mismatch(baseline, candidate),
+    )
+
+
+_VERDICT_MARKS = {
+    "regressed": "✗",
+    "improved": "✓",
+    "neutral": "·",
+    "added": "+",
+    "removed": "-",
+}
+
+
+def format_comparison(comparison: Comparison) -> str:
+    """Plain-text comparison table plus summary lines."""
+    lines = [
+        f"{'':2}{'workload':<28} {'baseline':>12} {'candidate':>12} "
+        f"{'change':>8}  {'95% CI':>18}  verdict"
+    ]
+    for entry in comparison.workloads:
+        mark = _VERDICT_MARKS.get(entry.verdict, "?")
+        base = (
+            f"{entry.baseline_median * 1e3:.3f}ms"
+            if entry.baseline_median is not None
+            else "—"
+        )
+        cand = (
+            f"{entry.candidate_median * 1e3:.3f}ms"
+            if entry.candidate_median is not None
+            else "—"
+        )
+        if entry.change is not None and entry.change_ci is not None:
+            change = f"{entry.change * 100:+.1f}%"
+            ci = (
+                f"[{entry.change_ci[0] * 100:+.1f}%, "
+                f"{entry.change_ci[1] * 100:+.1f}%]"
+            )
+        else:
+            change, ci = "—", "—"
+        lines.append(
+            f"{mark:2}{entry.name:<28} {base:>12} {cand:>12} "
+            f"{change:>8}  {ci:>18}  {entry.verdict}"
+        )
+        for counter, (was, now) in sorted(entry.counter_drift.items()):
+            lines.append(
+                f"  {'':28} counter drift: {counter} {was:g} -> {now:g}"
+            )
+    summary = comparison.to_dict()["summary"]
+    lines.append(
+        "summary: "
+        + ", ".join(f"{count} {verdict}" for verdict, count in summary.items())
+        + f" (threshold ±{comparison.threshold * 100:.0f}%, "
+        f"{comparison.confidence * 100:.0f}% bootstrap CI on the median)"
+    )
+    if comparison.environment_mismatch:
+        lines.append(
+            "WARNING: environment fingerprints differ — timings are not "
+            "comparable across machines; refresh the baseline "
+            "(bench run --update-baseline):"
+        )
+        for mismatch in comparison.environment_mismatch:
+            lines.append(f"  {mismatch}")
+    return "\n".join(lines)

@@ -1,0 +1,207 @@
+"""The measurement loop: warmup, GC pinning, interleaved timed rounds.
+
+Per suite the runner performs, in order:
+
+1. ``setup(seed)`` for every workload — untimed.
+2. A *counter pass* per workload: one untimed ``run`` under a fresh
+   telemetry collector, recording only the counters the workload
+   declared.  Keeping this pass separate means (a) counter values are
+   independent of ``--repeats`` and (b) the timed rounds run with
+   telemetry disabled, on the no-op fast path, so instrumentation never
+   skews a sample.
+3. ``warmup`` untimed repeats per workload (caches, allocator).
+4. ``repeats`` timed **rounds**, each visiting every workload once, under
+   a pinned garbage collector (``gc.collect()`` then ``gc.disable()``)
+   with monotonic :func:`time.perf_counter` timing.  Interleaving is
+   deliberate: a workload's samples are spread across the suite's whole
+   wall-clock window instead of being taken back-to-back, so slow drift
+   of the environment (CPU frequency, a noisy neighbour) shows up as
+   *within-run* spread — which widens the bootstrap confidence interval
+   in :mod:`repro.bench.compare` exactly when the machine is too
+   unstable to call a regression.
+5. ``teardown`` for every workload — untimed.
+
+Workloads with sub-millisecond bodies declare a fixed ``inner`` loop
+count; a sample is then the mean over ``inner`` back-to-back calls,
+which suppresses timer-resolution jitter without touching determinism
+(the count is a registry constant, never calibrated at runtime).
+
+The result is a schema-valid report (:mod:`repro.bench.schema`); its
+workload list, seeds, and counters are deterministic across runs — only
+the timings vary.
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro import telemetry
+from repro.bench import schema
+from repro.bench.workloads import Workload, get_workload, workloads_for
+
+__all__ = ["run_suite", "run_workload", "stderr_progress"]
+
+
+class _Bench:
+    """Mutable measurement state of one workload during a suite run."""
+
+    def __init__(self, workload: Workload) -> None:
+        self.workload = workload
+        self.context: Any = None
+        self.iteration = 0
+        self.samples: List[float] = []
+        self.counters: Dict[str, float] = {}
+
+    def call(self) -> None:
+        self.workload.run(self.context, self.iteration)
+        self.iteration += 1
+
+    def sample(self) -> None:
+        inner = self.workload.inner
+        start = time.perf_counter()
+        for _ in range(inner):
+            self.call()
+        self.samples.append((time.perf_counter() - start) / inner)
+
+    def entry(self) -> Dict[str, Any]:
+        return schema.workload_entry(
+            seed=self.workload.seed,
+            samples_seconds=self.samples,
+            counters=self.counters,
+            description=self.workload.description,
+            suites=list(self.workload.suites),
+            inner=self.workload.inner,
+        )
+
+
+def _counter_pass(bench: _Bench) -> None:
+    """One untimed run under a private collector; record the declared
+    counters (missing ones as 0.0, so schema keys are stable)."""
+    if not bench.workload.counters:
+        bench.call()
+        return
+    # enable/disable stack: a fresh collector shadows any outer one for
+    # the duration of the pass, so bench counters never leak into (or
+    # absorb noise from) a surrounding --trace collector.
+    with telemetry.session() as collector:
+        bench.call()
+    bench.counters = {
+        name: float(collector.counter(name))
+        for name in bench.workload.counters
+    }
+
+
+def _run_benches(
+    benches: List[_Bench],
+    *,
+    repeats: int,
+    warmup: int,
+    capture_counters: bool,
+    progress: Optional[Callable[[str], None]] = None,
+) -> None:
+    """Measure ``benches`` in place: setup, counters, warmup, rounds."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    active: List[_Bench] = []
+    try:
+        for bench in benches:
+            if progress is not None:
+                progress(f"bench: setup {bench.workload.name}")
+            if bench.workload.setup is not None:
+                bench.context = bench.workload.setup(bench.workload.seed)
+            active.append(bench)
+            if capture_counters:
+                _counter_pass(bench)
+            for _ in range(warmup):
+                bench.call()
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for round_index in range(repeats):
+                for bench in benches:
+                    bench.sample()
+                if progress is not None:
+                    progress(f"bench: round {round_index + 1}/{repeats} done")
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    finally:
+        for bench in active:
+            if bench.workload.teardown is not None:
+                bench.workload.teardown(bench.context)
+
+
+def run_workload(
+    workload: Workload,
+    *,
+    repeats: int = 5,
+    warmup: int = 1,
+    capture_counters: bool = True,
+) -> Dict[str, Any]:
+    """Measure one workload alone; returns its schema workload entry."""
+    bench = _Bench(workload)
+    _run_benches(
+        [bench],
+        repeats=repeats,
+        warmup=warmup,
+        capture_counters=capture_counters,
+    )
+    return bench.entry()
+
+
+def run_suite(
+    suite: str = "quick",
+    *,
+    repeats: int = 5,
+    warmup: int = 1,
+    workload_names: Optional[Sequence[str]] = None,
+    capture_counters: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run every workload of ``suite`` and assemble the report.
+
+    Args:
+        suite: suite tag (see :data:`repro.bench.workloads.SUITES`).
+        repeats: timed rounds — every workload collects one sample per
+            round, interleaved with all the others.
+        warmup: untimed warmup repeats per workload.
+        workload_names: explicit subset overriding the suite selection
+            (the report still carries ``suite`` for labelling).
+        capture_counters: run the telemetry counter pass (disable to
+            shave a repeat off each workload; counters come back empty).
+        progress: per-phase status callback (e.g. writes to stderr).
+    """
+    if workload_names:
+        selected = [get_workload(name) for name in workload_names]
+    else:
+        selected = workloads_for(suite)
+    if not selected:
+        raise ValueError(f"suite {suite!r} selects no workloads")
+    benches = [_Bench(workload) for workload in selected]
+    _run_benches(
+        benches,
+        repeats=repeats,
+        warmup=warmup,
+        capture_counters=capture_counters,
+        progress=progress,
+    )
+    entries: Dict[str, Dict[str, Any]] = {}
+    for bench in benches:
+        entry = bench.entry()
+        entries[bench.workload.name] = entry
+        if progress is not None:
+            progress(
+                f"bench: {bench.workload.name} median="
+                f"{entry['stats']['median'] * 1e3:.3f}ms "
+                f"over {repeats} rounds"
+            )
+    return schema.new_report(suite, entries, repeats=repeats, warmup=warmup)
+
+
+def stderr_progress(message: str) -> None:
+    """Default progress sink: stderr, so ``--json`` stdout stays pure."""
+    print(message, file=sys.stderr, flush=True)

@@ -17,6 +17,10 @@ Usage::
     python -m repro serve --port 8042 --service-workers 4
     python -m repro serve --store results.jsonl --journal journal.jsonl
     python -m repro serve --chaos-seed 7
+    python -m repro bench list
+    python -m repro bench run --suite quick --repeats 3 --json
+    python -m repro bench compare BENCH_a.json BENCH_b.json
+    python -m repro bench gate --against benchmarks/baselines/BENCH_quick.json
     python -m repro --version
 
 Each experiment prints the same rows/series the paper reports.  The
@@ -51,6 +55,11 @@ artifact sizes, sources, and the ``pipeline.cache.*`` statistics (see
 ``docs/ARCHITECTURE.md``).  ``--spill-dir`` (on ``solve``, ``serve`` and
 ``inspect``) persists pipeline artifacts as content-addressed ``.npz``
 files so later invocations skip the pre-execution stages.
+
+``bench`` hosts the deterministic performance-benchmark suites and the
+statistical regression gate (``list`` / ``run`` / ``compare`` / ``gate``
+— see ``docs/BENCHMARKS.md``); ``gate`` exits 4 on statistically
+significant regressions against a committed baseline.
 
 ``serve`` starts the long-running solve service (job queue, dedup,
 worker pool, JSON/HTTP API — see ``docs/SERVICE.md``) and blocks until
@@ -553,6 +562,10 @@ def main(argv: List[str] | None = None) -> int:
         return _serve_main(argv[1:])
     if argv and argv[0] == "inspect":
         return _inspect_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.experiments:
         for name, (description, _) in EXPERIMENTS.items():

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.experiments.runner import ALGORITHMS, run_algorithm
-from repro.metrics.statistics import summarize
+from repro.metrics.statistics import bootstrap_ci, summarize
 from repro.problems import BENCHMARK_IDS, make_benchmark
 
 
@@ -32,6 +32,9 @@ class Table2Cell:
     cases: int
     arg_std: float = 0.0
     in_constraints_rate: float = 1.0
+    #: Bootstrap 95% CI on the median ARG across cases (degenerate when
+    #: ``cases == 1``); the same estimator ``repro bench compare`` uses.
+    arg_ci: tuple = (0.0, 0.0)
 
 
 @dataclass
@@ -98,9 +101,11 @@ def run_table2(
                 per_algo.setdefault(name, []).append(run)
         table.cells[benchmark_id] = {}
         for name, runs in per_algo.items():
-            args = summarize([r.arg for r in runs])
+            arg_values = [r.arg for r in runs]
+            args = summarize(arg_values)
             table.cells[benchmark_id][name] = Table2Cell(
                 arg=args.mean,
+                arg_ci=bootstrap_ci(arg_values, seed=seed),
                 depth=int(np.mean([r.executed_depth for r in runs])),
                 num_parameters=int(np.mean([r.num_parameters for r in runs])),
                 cases=len(runs),

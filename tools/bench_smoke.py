@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the ``repro.bench`` subsystem.
+
+Exercises the full CLI surface as real subprocesses:
+
+* runs the quick suite twice (3 repeats each) and checks the
+  **determinism contract** — the two reports are identical after
+  dropping the timing fields (same workload list, seeds, counters);
+* validates both reports against the ``repro.bench/v1`` schema;
+* ``bench compare`` run1-vs-run2 must report **zero** regressed
+  workloads (an unchanged tree never regresses against itself).  A
+  transient burst of machine contention *between* the two runs can fake
+  a sustained shift no within-run statistic can see, so this check
+  allows one retry with a fresh second run; only a persistent
+  disagreement fails;
+* ``bench gate`` run1-vs-run2 with ``--strict-env`` (same machine, same
+  env fingerprint) must exit 0;
+* ``bench gate`` against the committed baseline
+  ``benchmarks/baselines/BENCH_quick.json`` at a relaxed 25% threshold
+  must exit 0 — on a different machine this holds via the
+  environment-mismatch warn-and-pass rule, on the baseline's machine via
+  the threshold itself.
+
+The first run's report is left at ``BENCH_quick.json`` (override with
+``BENCH_OUT``) for CI artifact upload.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/bench_smoke.py
+
+Exits non-zero with a diagnostic on the first failed check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+SUITE = "quick"
+REPEATS = "3"
+BENCH_OUT = os.environ.get("BENCH_OUT", "BENCH_quick.json")
+BASELINE = os.path.join(REPO_ROOT, "benchmarks", "baselines", "BENCH_quick.json")
+GATE_THRESHOLD = "25%"
+#: Fields that legitimately differ between two runs of the same tree.
+TIMING_FIELDS = ("samples_seconds", "stats")
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def child_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def bench(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "bench", *args],
+        capture_output=True,
+        text=True,
+        env=child_env(),
+        cwd=REPO_ROOT,
+    )
+
+
+def run_suite(out_path: str) -> dict:
+    process = bench(
+        "run", "--suite", SUITE, "--repeats", REPEATS, "--out", out_path
+    )
+    if process.returncode != 0:
+        fail(f"bench run exited {process.returncode}:\n{process.stderr}")
+    with open(out_path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def strip_timings(report: dict) -> dict:
+    stripped = json.loads(json.dumps(report))
+    for entry in stripped.get("workloads", {}).values():
+        for field in TIMING_FIELDS:
+            entry.pop(field, None)
+    return stripped
+
+
+def main() -> int:
+    sys.path.insert(0, SRC)
+    from repro.bench import schema
+
+    with tempfile.TemporaryDirectory(prefix="bench-smoke-") as tmp:
+        first_path = os.path.join(REPO_ROOT, BENCH_OUT)
+        second_path = os.path.join(tmp, "BENCH_quick_run2.json")
+
+        first = run_suite(first_path)
+        print(f"run 1: {len(first['workloads'])} workloads -> {BENCH_OUT}")
+
+        summary = None
+        for attempt in (1, 2):
+            second = run_suite(second_path)
+            print(f"run 2 (attempt {attempt}): {len(second['workloads'])} workloads")
+
+            for name, report in (("run 1", first), ("run 2", second)):
+                errors = schema.schema_errors(report)
+                if errors:
+                    fail(f"{name} report is schema-invalid: {errors}")
+
+            if strip_timings(first) != strip_timings(second):
+                fail(
+                    "determinism contract broken: reports differ beyond "
+                    f"{TIMING_FIELDS} (workload list, seeds, or counters "
+                    "drifted)"
+                )
+
+            process = bench("compare", first_path, second_path, "--json")
+            if process.returncode != 0:
+                fail(
+                    f"bench compare exited {process.returncode}:\n"
+                    f"{process.stderr}"
+                )
+            summary = json.loads(process.stdout)["summary"]
+            if summary["regressed"] == 0:
+                break
+            if attempt == 1:
+                print(
+                    f"WARN: same-tree compare reported regressions "
+                    f"({summary}) — transient contention between runs; "
+                    "retrying with a fresh second run",
+                    file=sys.stderr,
+                )
+        else:
+            fail(
+                "same-tree comparison reported regressions twice: "
+                f"{summary} — the noise model is broken or the machine "
+                "is pathologically unstable"
+            )
+        print("both reports schema-valid")
+        print("determinism contract holds (only timings differ)")
+        print(f"same-tree compare: {summary}")
+
+        process = bench(
+            "gate",
+            "--against", first_path,
+            "--candidate", second_path,
+            "--strict-env",
+        )
+        if process.returncode != 0:
+            fail(
+                f"same-tree strict-env gate exited {process.returncode}:\n"
+                f"{process.stdout}\n{process.stderr}"
+            )
+        print("same-tree strict-env gate: exit 0")
+
+        if not os.path.exists(BASELINE):
+            fail(f"committed baseline missing: {BASELINE}")
+        process = bench(
+            "gate",
+            "--against", BASELINE,
+            "--candidate", first_path,
+            "--threshold", GATE_THRESHOLD,
+        )
+        if process.returncode != 0:
+            fail(
+                f"gate vs committed baseline exited {process.returncode}:\n"
+                f"{process.stdout}\n{process.stderr}"
+            )
+        print(f"gate vs committed baseline (threshold {GATE_THRESHOLD}): exit 0")
+
+    print("bench smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
