@@ -21,6 +21,9 @@ Usage::
     python -m repro bench run --suite quick --repeats 3 --json
     python -m repro bench compare BENCH_a.json BENCH_b.json
     python -m repro bench gate --against benchmarks/baselines/BENCH_quick.json
+    python -m repro verify list
+    python -m repro verify run --suite quick --seed 7
+    python -m repro verify mutate --seed 7
     python -m repro --version
 
 Each experiment prints the same rows/series the paper reports.  The
@@ -60,6 +63,15 @@ files so later invocations skip the pre-execution stages.
 statistical regression gate (``list`` / ``run`` / ``compare`` / ``gate``
 — see ``docs/BENCHMARKS.md``); ``gate`` exits 4 on statistically
 significant regressions against a committed baseline.
+
+``verify`` hosts the differential correctness harness: seeded checks
+asserting that redundant paths agree (dense vs sparse simulation, cold
+vs cached compile, serial vs parallel execution, persistence reload,
+wire-format round trip, solver metrics vs brute force — see
+``docs/VERIFICATION.md``).  ``verify run`` exits 1 on any mismatch;
+``verify mutate`` injects a seeded perturbation through
+:mod:`repro.faults` and must *fail* on a healthy tree, proving the
+checks are live.
 
 ``serve`` starts the long-running solve service (job queue, dedup,
 worker pool, JSON/HTTP API — see ``docs/SERVICE.md``) and blocks until
@@ -566,6 +578,10 @@ def main(argv: List[str] | None = None) -> int:
         from repro.bench.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "verify":
+        from repro.verify.cli import main as verify_main
+
+        return verify_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.experiments:
         for name, (description, _) in EXPERIMENTS.items():

@@ -62,7 +62,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -70,7 +70,7 @@ from repro import telemetry
 from repro.simulators.seeding import make_rng
 
 #: Actions a rule may take when its point fires.
-ACTIONS = ("raise", "kill", "latency", "truncate")
+ACTIONS = ("raise", "kill", "latency", "truncate", "perturb")
 
 
 class InjectedFault(RuntimeError):
@@ -107,6 +107,27 @@ class TruncateDirective:
         return data[: max(1, min(keep, len(data) - 1))]
 
 
+@dataclass(frozen=True)
+class PerturbDirective:
+    """Returned by :func:`point` to call sites that can skew a value.
+
+    The numerical counterpart of :class:`TruncateDirective`: cooperating
+    call sites (the ``repro.verify`` differential harness) nudge one
+    value of their payload by ``scale``, simulating a silent numerical
+    divergence between two redundant computation paths.  A verification
+    harness that cannot be made to fail proves nothing, so ``verify
+    mutate`` installs ``perturb`` rules and asserts every check flips to
+    a mismatch.
+    """
+
+    point: str
+    scale: float = 1e-3
+
+
+#: Directive types a fault point may hand back to a cooperating caller.
+Directive = Union[TruncateDirective, PerturbDirective]
+
+
 @dataclass
 class FaultRule:
     """One injection rule: *when* a matching point fires, *what* happens.
@@ -122,6 +143,7 @@ class FaultRule:
             rule always fires.
         delay: sleep seconds (``latency`` action).
         fraction: written prefix fraction (``truncate`` action).
+        scale: numerical nudge magnitude (``perturb`` action).
         max_fires: stop firing after this many injections (``None`` =
             unlimited).
     """
@@ -132,6 +154,7 @@ class FaultRule:
     every: Optional[int] = None
     delay: float = 0.01
     fraction: float = 0.5
+    scale: float = 1e-3
     max_fires: Optional[int] = None
     fired: int = field(default=0, init=False, repr=False)
 
@@ -158,7 +181,7 @@ class FaultRule:
 
         Format: ``point:action[:key=value,key=value...]`` with keys
         ``p``/``probability``, ``every``, ``delay``, ``fraction``,
-        ``max`` — e.g. ``engine.execute:raise:p=0.2`` or
+        ``scale``, ``max`` — e.g. ``engine.execute:raise:p=0.2`` or
         ``store.append:truncate:every=3,max=2``.
         """
         parts = text.split(":", 2)
@@ -182,6 +205,8 @@ class FaultRule:
                     kwargs["delay"] = float(value)
                 elif key == "fraction":
                     kwargs["fraction"] = float(value)
+                elif key == "scale":
+                    kwargs["scale"] = float(value)
                 elif key in ("max", "max_fires"):
                     kwargs["max_fires"] = int(value)
                 else:
@@ -259,15 +284,15 @@ class FaultInjector:
         with self._lock:
             return self._calls.get(name, 0)
 
-    def fire(self, name: str) -> Optional[TruncateDirective]:
+    def fire(self, name: str) -> Optional["Directive"]:
         """Evaluate every matching rule for one call to point ``name``.
 
-        Applies latency inline, returns a truncate directive if any, and
-        raises for ``raise``/``kill`` — in that order, so a rule set can
-        both delay and fail the same call.
+        Applies latency inline, returns a truncate/perturb directive if
+        any, and raises for ``raise``/``kill`` — in that order, so a rule
+        set can both delay and fail the same call.
         """
         sleep_for = 0.0
-        directive: Optional[TruncateDirective] = None
+        directive: Optional[Directive] = None
         error: Optional[BaseException] = None
         with self._lock:
             index = self._calls.get(name, 0) + 1
@@ -295,6 +320,8 @@ class FaultInjector:
                     sleep_for += rule.delay
                 elif rule.action == "truncate":
                     directive = TruncateDirective(name, rule.fraction)
+                elif rule.action == "perturb":
+                    directive = PerturbDirective(name, rule.scale)
                 elif rule.action == "raise" and error is None:
                     error = InjectedFault(
                         f"injected fault at {name} (call {index})"
@@ -350,12 +377,13 @@ def session(plan: FaultPlan) -> Iterator[FaultInjector]:
             uninstall()
 
 
-def point(name: str) -> Optional[TruncateDirective]:
+def point(name: str) -> Optional[Directive]:
     """Declare a fault point; no-op unless an injection plan is active.
 
-    Returns a :class:`TruncateDirective` for cooperating writers, raises
-    :class:`InjectedFault`/:class:`WorkerCrash` or sleeps when the
-    active plan says so.
+    Returns a :class:`TruncateDirective` for cooperating writers (or a
+    :class:`PerturbDirective` for cooperating numerical paths — check
+    the type), raises :class:`InjectedFault`/:class:`WorkerCrash` or
+    sleeps when the active plan says so.
     """
     injector = _ACTIVE
     if injector is None:
@@ -365,10 +393,12 @@ def point(name: str) -> Optional[TruncateDirective]:
 
 __all__ = [
     "ACTIONS",
+    "Directive",
     "FaultInjector",
     "FaultPlan",
     "FaultRule",
     "InjectedFault",
+    "PerturbDirective",
     "TruncateDirective",
     "WorkerCrash",
     "active",

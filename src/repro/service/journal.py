@@ -28,12 +28,15 @@ survive crashes, so it must never brick a restart itself.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import threading
 import time
 from typing import Any, Dict, List, Optional
 
 from repro import faults, telemetry
+
+_LOG = logging.getLogger("repro.service")
 
 #: Events that settle a job (mirror JobState terminal states, plus the
 #: crash marker recorded when a worker dies holding the job).
@@ -56,6 +59,9 @@ class JobJournal:
         self.path = path
         self._clock = clock
         self._lock = threading.Lock()
+        #: Length of the current run of consecutive append failures; the
+        #: first failure of a streak is logged, the rest only counted.
+        self._append_failure_streak = 0
         #: Job ids a previous process left non-terminal.
         self.interrupted: List[str] = []
         #: Torn trailing lines skipped during replay.
@@ -91,7 +97,7 @@ class JobJournal:
         try:
             with self._lock:
                 directive = faults.point("journal.append")
-                if directive is not None:
+                if isinstance(directive, faults.TruncateDirective):
                     with open(self.path, "ab") as handle:
                         handle.write(directive.cut(data))
                     raise faults.InjectedFault(
@@ -99,8 +105,29 @@ class JobJournal:
                     )
                 with open(self.path, "ab") as handle:
                     handle.write(data)
-        except Exception:  # noqa: BLE001 — the journal is best-effort
+        except Exception:  # noqa: BLE001 — the journal is best-effort,
+            # but "best-effort" must not mean "silent": count every
+            # failure (mirroring service.store.append_errors) and log the
+            # first of each streak so operators see the disk going bad
+            # without a line of noise per event.
             telemetry.add("service.journal.append_errors")
+            self._append_failure_streak += 1
+            if self._append_failure_streak == 1:
+                _LOG.warning(
+                    "journal append to %r failed (event %r); suppressing "
+                    "further warnings until an append succeeds",
+                    self.path,
+                    event,
+                    exc_info=True,
+                )
+        else:
+            if self._append_failure_streak:
+                _LOG.info(
+                    "journal append to %r recovered after %d failure(s)",
+                    self.path,
+                    self._append_failure_streak,
+                )
+            self._append_failure_streak = 0
 
     # ------------------------------------------------------------------
     # Replay

@@ -152,7 +152,7 @@ class ResultStore:
                     else 0
                 )
                 directive = faults.point("store.append")
-                if directive is not None:
+                if isinstance(directive, faults.TruncateDirective):
                     # Simulated crash mid-write: the torn prefix reaches
                     # the file, the caller sees a failed append.
                     with open(self.path, "ab") as handle:

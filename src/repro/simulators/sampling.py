@@ -11,6 +11,8 @@ from typing import Dict, Mapping
 
 import numpy as np
 
+from repro.exceptions import SimulationError
+
 
 def counts_from_probabilities(
     probabilities: np.ndarray | Mapping[int, float],
@@ -27,6 +29,12 @@ def counts_from_probabilities(
 
     Returns:
         ``{basis index: count}`` with only observed outcomes present.
+
+    Raises:
+        SimulationError: when the clamped probability mass is zero,
+            negative, or non-finite — sampling from such input would
+            silently emit NaNs (or crash deep inside ``multinomial``)
+            instead of pointing at the upstream numerical problem.
     """
     if shots < 0:
         raise ValueError("shots must be non-negative")
@@ -38,10 +46,16 @@ def counts_from_probabilities(
     else:
         probs = np.asarray(probabilities, dtype=np.float64)
         keys = np.arange(probs.shape[0], dtype=np.int64)
+    # Float cancellation (purification, Kraus renormalisation) can leave
+    # tiny negative entries and a sum slightly off 1.0: clamp first, then
+    # renormalise once over the clamped mass.
     probs = probs.clip(min=0.0)
     total = probs.sum()
-    if total <= 0:
-        raise ValueError("probability mass is zero")
+    if not np.isfinite(total) or total <= 0.0:
+        raise SimulationError(
+            f"cannot sample from a distribution with total probability "
+            f"mass {total!r} after clamping negatives to zero"
+        )
     probs = probs / total
     draws = rng.multinomial(shots, probs)
     return {int(key): int(count) for key, count in zip(keys, draws) if count}

@@ -26,7 +26,8 @@ from repro.exceptions import SimulationError
 from repro.linalg.bitvec import bits_to_int, int_to_bits
 from repro import telemetry
 
-#: Amplitudes smaller than this are dropped after each operation.
+#: Amplitudes smaller than this fraction of the state norm are dropped
+#: after each operation.
 PRUNE_TOLERANCE = 1e-12
 
 
@@ -81,8 +82,22 @@ class SparseState:
         self.amplitudes = {k: a / norm for k, a in self.amplitudes.items()}
 
     def prune(self, tolerance: float = PRUNE_TOLERANCE) -> None:
+        """Drop amplitudes negligible *relative to the current norm*.
+
+        Non-unitary Kraus application and segmented execution leave the
+        state unnormalised (callers own renormalisation), so an absolute
+        cutoff would drop near-threshold amplitudes that dense simulation
+        keeps once the overall norm has been scaled down.  Scaling the
+        cutoff by the norm makes pruning invariant under that scaling;
+        for a normalised state it reduces to the absolute tolerance.
+        """
+        norm = self.norm()
+        if norm == 0.0:
+            self.amplitudes = {}
+            return
+        cutoff = tolerance * norm
         self.amplitudes = {
-            k: a for k, a in self.amplitudes.items() if abs(a) > tolerance
+            k: a for k, a in self.amplitudes.items() if abs(a) > cutoff
         }
 
     def probabilities(self) -> Dict[int, float]:

@@ -1,0 +1,55 @@
+"""repro.verify — differential correctness harness.
+
+A registry of seeded checks, each asserting that two redundant paths
+through the codebase produce the same answer within a stated tolerance
+(or bit-identically, where the repo promises determinism): dense vs
+sparse simulation, cold vs cache-served compilation, serial vs
+process-pool execution, in-memory vs reloaded persistence, the JSON
+wire format, and solver metrics vs brute force.
+
+Run via ``python -m repro verify {list,run,mutate}``; ``mutate``
+injects a seeded perturbation through :mod:`repro.faults` to prove the
+harness actually catches divergence.  See ``docs/VERIFICATION.md``.
+"""
+
+from repro.verify.harness import (
+    REGISTRY,
+    REPORT_VERSION,
+    SUITES,
+    Check,
+    CheckContext,
+    CheckOutput,
+    CheckResult,
+    CheckSkipped,
+    VerifyError,
+    checks_for,
+    exit_code,
+    fingerprint_payload,
+    max_deviation,
+    mutation_plan,
+    perturb_payload,
+    register_check,
+    run_check,
+    run_checks,
+)
+
+__all__ = [
+    "REGISTRY",
+    "REPORT_VERSION",
+    "SUITES",
+    "Check",
+    "CheckContext",
+    "CheckOutput",
+    "CheckResult",
+    "CheckSkipped",
+    "VerifyError",
+    "checks_for",
+    "exit_code",
+    "fingerprint_payload",
+    "max_deviation",
+    "mutation_plan",
+    "perturb_payload",
+    "register_check",
+    "run_check",
+    "run_checks",
+]

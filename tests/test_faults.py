@@ -13,6 +13,7 @@ from repro.faults import (
     FaultPlan,
     FaultRule,
     InjectedFault,
+    PerturbDirective,
     TruncateDirective,
     WorkerCrash,
 )
@@ -173,6 +174,30 @@ class TestInjectorDeterminism:
         cut = directive.cut(b"0123456789\n")
         assert 1 <= len(cut) < 11
         assert b"\n" not in cut
+
+    def test_perturb_returns_directive_with_scale(self):
+        injector = FaultInjector(
+            FaultPlan(
+                [FaultRule("verify.*", "perturb", every=1, scale=0.01)],
+                seed=0,
+            )
+        )
+        directive = injector.fire("verify.sparse-vs-dense")
+        assert isinstance(directive, PerturbDirective)
+        assert directive.point == "verify.sparse-vs-dense"
+        assert directive.scale == 0.01
+
+    def test_perturb_parse_round_trips_scale(self):
+        rule = FaultRule.parse("verify.arg-vs-bruteforce:perturb:scale=1e-2")
+        assert rule.action == "perturb"
+        assert rule.scale == 0.01
+
+    def test_truncate_sites_ignore_perturb_directives(self):
+        # The store/journal appenders must only honour *truncate*
+        # directives; a perturb directive at their points is not a torn
+        # write and must not be treated as one.
+        directive = PerturbDirective("store.append", 0.01)
+        assert not isinstance(directive, TruncateDirective)
 
     def test_thread_safety_counts_every_call(self):
         injector = FaultInjector(

@@ -381,6 +381,47 @@ class TestJobJournal:
             assert collector.counter("service.journal.interrupted") == 1
         assert restarted.interrupted == ["job-a"]
 
+    def test_failed_appends_are_counted_and_logged_once_per_streak(
+        self, tmp_path, caplog
+    ):
+        # Regression: append failures used to be swallowed silently —
+        # no counter, no log line.  They must now mirror the store's
+        # ``service.store.append_errors`` discipline: every failure is
+        # counted, the *first* of a streak is logged, and recovery
+        # resets the streak.
+        path = str(tmp_path / "journal.jsonl")
+        journal = JobJournal(path)
+        with telemetry.session() as collector:
+            with faults.session(
+                FaultPlan([FaultRule("journal.append", "raise", every=1)])
+            ):
+                with caplog.at_level("WARNING", logger="repro.service"):
+                    journal.record("submitted", "job-a")
+                    journal.record("running", "job-a")
+                    journal.record("done", "job-a")
+            assert collector.counter("service.journal.append_errors") == 3
+        warnings = [
+            record
+            for record in caplog.records
+            if "journal append" in record.getMessage()
+        ]
+        assert len(warnings) == 1  # one streak, one warning
+        # Recovery: the next successful append resets the streak, so a
+        # later failure warns again.
+        journal.record("submitted", "job-b")
+        with caplog.at_level("WARNING", logger="repro.service"):
+            with faults.session(
+                FaultPlan([FaultRule("journal.append", "raise", every=1)])
+            ):
+                journal.record("running", "job-b")
+        warnings = [
+            record
+            for record in caplog.records
+            if record.levelname == "WARNING"
+            and "journal append" in record.getMessage()
+        ]
+        assert len(warnings) == 2
+
     def test_clean_shutdown_leaves_nothing_interrupted(self, tmp_path):
         path = str(tmp_path / "journal.jsonl")
         journal = JobJournal(path)

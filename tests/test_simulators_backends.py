@@ -10,6 +10,7 @@ from repro.simulators.backends import (
     fake_brisbane,
     fake_kyiv,
 )
+from repro.exceptions import SimulationError
 from repro.simulators.density import DensityMatrixSimulator
 from repro.simulators.noise import NoiseModel, depolarizing
 from repro.simulators.sampling import (
@@ -37,8 +38,26 @@ class TestSampling:
 
     def test_zero_mass_rejected(self):
         rng = np.random.default_rng(0)
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             counts_from_probabilities(np.array([0.0, 0.0]), 10, rng)
+
+    def test_all_negative_mass_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(SimulationError):
+            counts_from_probabilities(np.array([-0.4, -0.6]), 10, rng)
+
+    def test_nan_mass_rejected_instead_of_propagating(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(SimulationError):
+            counts_from_probabilities(np.array([np.nan, 0.5]), 10, rng)
+
+    def test_tiny_negative_entries_are_clamped(self):
+        rng = np.random.default_rng(0)
+        counts = counts_from_probabilities(
+            np.array([0.5, -1e-17, 0.5]), 1000, rng
+        )
+        assert 1 not in counts
+        assert sum(counts.values()) == 1000
 
     def test_readout_error_flips(self):
         rng = np.random.default_rng(1)

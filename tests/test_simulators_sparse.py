@@ -137,6 +137,36 @@ class TestHousekeeping:
         state.prune()
         assert state.support() == (0,)
 
+    def test_prune_is_relative_to_norm(self):
+        # Regression: prune used to apply the absolute threshold to
+        # unnormalised amplitudes, silently deleting the *entire* state
+        # once its norm drifted below the tolerance.  The cutoff is now
+        # a fraction of the current norm, so a uniformly tiny state
+        # keeps its (relatively large) components.
+        state = SparseState(2, {0: 1e-8, 1: 1e-14})
+        state.prune()
+        assert state.support() == (0, 1)
+
+    def test_prune_still_drops_relatively_tiny_amplitudes(self):
+        state = SparseState(2, {0: 1e-8, 1: 1e-22})
+        state.prune()
+        assert state.support() == (0,)
+
+    def test_prune_of_zero_state_empties_cleanly(self):
+        state = SparseState(2, {0: 0.0, 3: 0.0})
+        state.prune()
+        assert state.support() == ()
+
+    def test_transitions_survive_small_global_scale(self):
+        # The same chain applied to a scaled-down state must keep the
+        # same support: pruning decisions may not depend on the norm.
+        u = np.array([1, -1, 0], dtype=np.int64)
+        reference = SparseState.from_bits([0, 1, 0])
+        scaled = SparseState(3, {0b010: 1e-13})
+        for state in (reference, scaled):
+            state.apply_transition(u, 0.7)
+        assert scaled.support() == reference.support()
+
     def test_copy_independent(self):
         a = SparseState.from_bits([1, 0])
         b = a.copy()

@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the ``repro.verify`` subsystem.
+
+Exercises the differential correctness harness as real subprocesses:
+
+* runs the quick suite twice with the same seed and checks the
+  **determinism contract** — the two verdict reports must be
+  byte-identical (the report carries no timestamps or durations, so a
+  diff proves every check is a pure function of the seed);
+* asserts the clean-tree run exits 0 with zero mismatches and that
+  every registered quick check actually executed (``match`` or an
+  explicitly reasoned ``skipped`` — never silently absent);
+* runs one **mutation** pass (``verify mutate``) and asserts it exits
+  nonzero with every executed check flipped to ``mismatch`` — a
+  harness that cannot fail is vacuous, and this is the check that
+  catches it going vacuous.
+
+The first run's report is left at ``VERIFY_quick.json`` (override with
+``VERIFY_OUT``) for CI artifact upload.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/verify_smoke.py [seed]
+
+Exits non-zero with a diagnostic on the first failed check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+SUITE = "quick"
+VERIFY_OUT = os.environ.get("VERIFY_OUT", "VERIFY_quick.json")
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def child_env() -> dict:
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
+    return env
+
+
+def run_verify(command: str, out_path: str, seed: int) -> subprocess.CompletedProcess:
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "verify",
+        command,
+        "--suite",
+        SUITE,
+        "--seed",
+        str(seed),
+        "--out",
+        out_path,
+    ]
+    print("+", " ".join(argv), flush=True)
+    return subprocess.run(
+        argv, env=child_env(), capture_output=True, text=True
+    )
+
+
+def load_report(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("version") != "repro.verify/v1":
+        fail(f"unexpected report version in {path}: {report.get('version')!r}")
+    return report
+
+
+def main() -> int:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    with tempfile.TemporaryDirectory(prefix="verify-smoke-") as scratch:
+        first_path = os.path.join(scratch, "run1.json")
+        second_path = os.path.join(scratch, "run2.json")
+        mutated_path = os.path.join(scratch, "mutated.json")
+
+        # 1. Clean run: zero mismatches, exit 0.
+        first = run_verify("run", first_path, seed)
+        if first.returncode != 0:
+            fail(
+                f"clean `verify run` exited {first.returncode}\n"
+                f"stdout:\n{first.stdout}\nstderr:\n{first.stderr}"
+            )
+        report = load_report(first_path)
+        summary = report["summary"]
+        if summary["mismatch"]:
+            fail(f"clean run reported mismatches: {summary}")
+        if not summary["match"]:
+            fail(f"clean run matched nothing (all skipped?): {summary}")
+        for entry in report["checks"]:
+            if entry["verdict"] == "skipped" and not entry["reason"]:
+                fail(f"check {entry['name']} skipped without a reason")
+        print(
+            f"clean run: {summary['match']} match, "
+            f"{summary['skipped']} skipped"
+        )
+
+        # 2. Determinism: a second run with the same seed is identical.
+        second = run_verify("run", second_path, seed)
+        if second.returncode != 0:
+            fail(f"second `verify run` exited {second.returncode}")
+        first_text = json.dumps(load_report(first_path), sort_keys=True)
+        second_text = json.dumps(load_report(second_path), sort_keys=True)
+        if first_text != second_text:
+            fail(
+                "determinism contract broken: two runs with the same seed "
+                "produced different reports"
+            )
+        print("determinism: run1 == run2 byte-for-byte")
+
+        # 3. Mutation: the harness must detect injected divergence.
+        mutated = run_verify("mutate", mutated_path, seed)
+        if mutated.returncode == 0:
+            fail(
+                "`verify mutate` exited 0 — the harness failed to detect "
+                "an injected perturbation (vacuous checks?)\n"
+                f"stdout:\n{mutated.stdout}"
+            )
+        mutated_report = load_report(mutated_path)
+        if not mutated_report["mutated"]:
+            fail("mutation report not flagged as mutated")
+        survivors = [
+            entry["name"]
+            for entry in mutated_report["checks"]
+            if entry["verdict"] == "match"
+        ]
+        if survivors:
+            fail(
+                f"checks survived mutation (not actually comparing?): "
+                f"{', '.join(survivors)}"
+            )
+        flipped = mutated_report["summary"]["mismatch"]
+        print(f"mutation: {flipped} check(s) flipped to mismatch, exit "
+              f"{mutated.returncode}")
+
+        # Leave the clean report for artifact upload.
+        with open(first_path, encoding="utf-8") as handle:
+            payload = handle.read()
+    with open(VERIFY_OUT, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    print(f"report written to {VERIFY_OUT}")
+    print("verify smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
